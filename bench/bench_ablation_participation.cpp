@@ -1,0 +1,93 @@
+// A1 — ablation of Section 5's key design choice: participate in each SSF
+// exactly once versus forever (the classical reliable-model strategy of
+// [6, 7], which never stops broadcasting).
+//
+// The paper's argument: in dual graphs, a node whose reliable neighbors are
+// all covered can still jam uncovered G'-neighbors, so unlimited
+// participation extends the interference window. Expected: the forever
+// variant suffers more collisions and (on adversarial networks) completes no
+// faster / sends far more; the Theorem 12 construction exploits it at least
+// as badly.
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/strong_select.hpp"
+#include "bench_util.hpp"
+#include "graph/dual_builders.hpp"
+#include "lowerbound/theorem12.hpp"
+
+using namespace dualrad;
+
+int main() {
+  benchutil::print_header(
+      "A1", "Ablation — participate once vs forever (Strong Select)",
+      "participate-once bounds each node's interference window; forever "
+      "keeps old layers jamming new ones and nodes never terminate");
+
+  stats::Table table({"n", "adversary", "once rounds", "once sends",
+                      "forever rounds", "forever sends", "forever/once sends"});
+  for (NodeId layers : {8, 16, 32}) {
+    const DualGraph net = duals::layered_complete_gprime(layers, 4);
+    const NodeId n = net.node_count();
+    StrongSelectOptions once;
+    StrongSelectOptions forever;
+    forever.participate_forever = true;
+    const ProcessFactory f_once = make_strong_select_factory(n, once);
+    const ProcessFactory f_forever = make_strong_select_factory(n, forever);
+
+    struct AdvSpec {
+      const char* name;
+      Adversary* adversary;
+    };
+    GreedyBlockerAdversary greedy;
+    FullInterferenceAdversary full;
+    for (const AdvSpec& spec :
+         {AdvSpec{"greedy", &greedy}, AdvSpec{"full", &full}}) {
+      SimConfig config;
+      config.rule = CollisionRule::CR4;
+      config.start = StartRule::Asynchronous;
+      config.max_rounds = 20'000'000;
+      const SimResult once_result =
+          run_broadcast(net, f_once, *spec.adversary, config);
+      const SimResult forever_result =
+          run_broadcast(net, f_forever, *spec.adversary, config);
+      const double ratio =
+          once_result.total_sends > 0
+              ? static_cast<double>(forever_result.total_sends) /
+                    static_cast<double>(once_result.total_sends)
+              : 0.0;
+      table.add_row(
+          {std::to_string(n), spec.name,
+           benchutil::rounds_str(once_result.completed
+                                     ? once_result.completion_round
+                                     : kNever),
+           std::to_string(once_result.total_sends),
+           benchutil::rounds_str(forever_result.completed
+                                     ? forever_result.completion_round
+                                     : kNever),
+           std::to_string(forever_result.total_sends),
+           stats::Table::num(ratio, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTheorem 12 construction against both variants:\n";
+  stats::Table lb({"n", "bound", "once", "forever"});
+  for (NodeId n : {17, 33, 65}) {
+    const auto once = lowerbound::run_theorem12(n, make_strong_select_factory(n));
+    StrongSelectOptions opt;
+    opt.participate_forever = true;
+    const auto forever =
+        lowerbound::run_theorem12(n, make_strong_select_factory(n, opt));
+    const auto show = [](const lowerbound::Theorem12Result& r) {
+      if (!r.valid) return std::string("INVALID");
+      if (r.stalled) return std::string("stalled(never completes)");
+      return std::to_string(r.total_rounds);
+    };
+    lb.add_row({std::to_string(n),
+                std::to_string(lowerbound::theorem12_bound(n)), show(once),
+                show(forever)});
+  }
+  lb.print(std::cout);
+  return 0;
+}

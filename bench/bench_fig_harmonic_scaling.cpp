@@ -1,0 +1,70 @@
+// F2 — scaling "figure" for Section 7: Harmonic Broadcast rounds vs n, with
+// the paper's T = ceil(12 ln(n/eps)), plus the Lemma 15 busy-round audit.
+//
+// Expected: completion within the 2 n T H(n) bound of Theorem 18 with the
+// measured busy-round count below n T H(n) (Lemma 15); the fitted shape sits
+// in the ~n log^2 n family, clearly below n^{3/2}.
+
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/harmonic.hpp"
+#include "bench_util.hpp"
+#include "graph/dual_builders.hpp"
+
+using namespace dualrad;
+
+int main() {
+  benchutil::print_header(
+      "F2", "Harmonic Broadcast scaling",
+      "completes w.h.p. within 2 n T H(n) (Thm 18); busy rounds <= n T H(n) "
+      "(Lemma 15); shape ~ n log^2 n");
+
+  const std::vector<NodeId> layer_counts = {4, 8, 16, 32, 64};
+  const double eps = 0.1;
+
+  stats::Table table({"n", "T", "mean rounds (greedy)", "busy rounds",
+                      "Lemma15 bound nTH(n)", "Thm18 bound 2nTH(n)"});
+  std::vector<double> xs, mean_rounds;
+  for (NodeId layers : layer_counts) {
+    const DualGraph net = duals::layered_complete_gprime(layers, 4);
+    const NodeId n = net.node_count();
+    const Round T = harmonic_T(n, {.eps = eps});
+    const ProcessFactory factory = make_harmonic_factory(n, {.eps = eps});
+    GreedyBlockerAdversary greedy;
+    SimConfig config;
+    config.rule = CollisionRule::CR4;
+    config.start = StartRule::Asynchronous;
+    config.max_rounds = 20'000'000;
+
+    double total = 0;
+    Round busy_worst = 0;
+    const int trials = 3;
+    for (int t = 0; t < trials; ++t) {
+      config.seed = mix_seed(5, static_cast<std::uint64_t>(t));
+      const SimResult result = run_broadcast(net, factory, greedy, config);
+      total += static_cast<double>(result.completion_round);
+      // Busy-round audit: count rounds whose total sending probability >= 1
+      // under the realized wake-up pattern (Lemma 15's quantity).
+      Round busy = 0;
+      for (Round round = 1; round <= result.completion_round; ++round) {
+        double p = 0;
+        for (NodeId v = 0; v < n; ++v) {
+          p += harmonic_probability(
+              round, result.first_token[static_cast<std::size_t>(v)], T);
+        }
+        if (p >= 1.0) ++busy;
+      }
+      busy_worst = std::max(busy_worst, busy);
+    }
+    const double mean = total / trials;
+    const Round bound = harmonic_round_bound(n, T);
+    table.add_row({std::to_string(n), std::to_string(T),
+                   stats::Table::num(mean, 1), std::to_string(busy_worst),
+                   std::to_string(bound / 2), std::to_string(bound)});
+    xs.push_back(static_cast<double>(n));
+    mean_rounds.push_back(mean);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  benchutil::print_fits(xs, mean_rounds, "harmonic mean completion");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// F1 — scaling "figure" for Section 5: Strong Select completion rounds vs n.
+//
+// The paper proves O(n^{3/2} sqrt(log n)) against *any* adversary. The bench
+// sweeps n over two dual-graph families and four adversaries and fits the
+// measured curves against candidate shapes. Expected: growth strictly faster
+// than the classical O(n) baseline, bounded by the n^{3/2} sqrt(log n)
+// envelope (the worst computable adversary here does not achieve the exact
+// worst case; see DESIGN.md substitutions).
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/strong_select.hpp"
+#include "bench_util.hpp"
+#include "graph/dual_builders.hpp"
+
+using namespace dualrad;
+
+int main() {
+  benchutil::print_header(
+      "F1", "Strong Select scaling",
+      "completes on every dual network under every adversary; rounds grow "
+      "super-linearly, within the O(n^{3/2} sqrt(log n)) envelope");
+
+  const std::vector<NodeId> layer_counts = {4, 8, 16, 32, 64};
+
+  // Note on the friendly extremes: the "full" adversary fires every G'-only
+  // edge every round, so a lone sender on a complete G' reaches everyone
+  // immediately — unreliable links can only *hurt* when scheduled to collide,
+  // which is what the greedy column isolates.
+  stats::Table table({"n", "benign", "bernoulli(0.5)", "full", "greedy",
+                      "envelope n^1.5 sqrt(log n)"});
+  std::vector<double> xs, greedy_rounds, benign_rounds;
+  for (NodeId layers : layer_counts) {
+    const DualGraph net = duals::layered_complete_gprime(layers, 4);
+    const NodeId n = net.node_count();
+    const ProcessFactory factory = make_strong_select_factory(n);
+    SimConfig config;
+    config.rule = CollisionRule::CR4;
+    config.start = StartRule::Asynchronous;
+    config.max_rounds = 20'000'000;
+
+    BenignAdversary benign;
+    BernoulliAdversary bernoulli(0.5, 99);
+    FullInterferenceAdversary full;
+    GreedyBlockerAdversary greedy;
+    const Round r_benign = benchutil::measure_rounds(net, factory, benign, config);
+    const Round r_bern = benchutil::measure_rounds(net, factory, bernoulli, config);
+    const Round r_full = benchutil::measure_rounds(net, factory, full, config);
+    const Round r_greedy = benchutil::measure_rounds(net, factory, greedy, config);
+    const double envelope = stats::shape_value("n^1.5 sqrt(log n)",
+                                               static_cast<double>(n));
+    table.add_row({std::to_string(n), benchutil::rounds_str(r_benign),
+                   benchutil::rounds_str(r_bern), benchutil::rounds_str(r_full),
+                   benchutil::rounds_str(r_greedy),
+                   stats::Table::num(envelope, 0)});
+    xs.push_back(static_cast<double>(n));
+    benign_rounds.push_back(static_cast<double>(r_benign));
+    greedy_rounds.push_back(static_cast<double>(r_greedy));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  benchutil::print_fits(xs, benign_rounds, "strong select / benign");
+  benchutil::print_fits(xs, greedy_rounds, "strong select / greedy blocker");
+
+  // Second family: gray-zone geometric networks (averaged over seeds).
+  std::cout << "gray-zone family (CR4, async, greedy blocker, 3 seeds):\n";
+  stats::Table gz({"n", "mean rounds"});
+  for (NodeId n : {32, 64, 128, 256}) {
+    double total = 0;
+    for (std::uint64_t seed : {1, 2, 3}) {
+      const DualGraph net = duals::gray_zone(
+          {.n = n, .r_reliable = 0.25, .r_gray = 0.6, .seed = seed});
+      GreedyBlockerAdversary greedy;
+      SimConfig config;
+      config.rule = CollisionRule::CR4;
+      config.start = StartRule::Asynchronous;
+      config.max_rounds = 20'000'000;
+      total += static_cast<double>(benchutil::measure_rounds(
+          net, make_strong_select_factory(n), greedy, config));
+    }
+    gz.add_row({std::to_string(n), stats::Table::num(total / 3.0, 1)});
+  }
+  gz.print(std::cout);
+  return 0;
+}

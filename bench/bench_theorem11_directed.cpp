@@ -1,0 +1,57 @@
+// E6 — Theorem 11 workload: the directed sqrt(n)-broadcastable family behind
+// the Omega(n^{3/2}) lower bound of [9]/[11] (cited by the paper; the bound
+// itself is combinatorial and not re-derived here — see DESIGN.md).
+//
+// The bench measures Strong Select and round robin on the family under the
+// benign and greedy-blocker adversaries. Expected: completion well above the
+// sqrt(n)-round broadcastability floor and growth consistent with the
+// super-linear regime the paper's Table 1 places between Omega(n^{3/2}) and
+// O(n^{3/2} sqrt(log n)).
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/round_robin_bcast.hpp"
+#include "algorithms/strong_select.hpp"
+#include "bench_util.hpp"
+#include "lowerbound/theorem11_network.hpp"
+
+using namespace dualrad;
+
+int main() {
+  benchutil::print_header(
+      "E6", "Theorem 11 family — directed sqrt(n)-broadcastable networks",
+      "directed dual graphs where depth is sqrt(n): deterministic broadcast "
+      "sits in the Omega(n^{3/2}) .. O(n^{3/2} sqrt(log n)) band");
+
+  const std::vector<NodeId> ns = {16, 36, 64, 100, 196};
+
+  stats::Table table({"n (actual)", "layers", "SS benign", "SS greedy",
+                      "RR greedy"});
+  std::vector<double> xs, ss_greedy;
+  for (NodeId n : ns) {
+    const DualGraph net = lowerbound::theorem11_network(n);
+    const NodeId actual = net.node_count();
+    const auto layout = lowerbound::theorem11_layout(n);
+    BenignAdversary benign;
+    GreedyBlockerAdversary greedy;
+    SimConfig config;
+    config.rule = CollisionRule::CR4;
+    config.start = StartRule::Asynchronous;
+    config.max_rounds = 10'000'000;
+    const Round ss_b = benchutil::measure_rounds(
+        net, make_strong_select_factory(actual), benign, config);
+    const Round ss_g = benchutil::measure_rounds(
+        net, make_strong_select_factory(actual), greedy, config);
+    const Round rr_g = benchutil::measure_rounds(
+        net, make_round_robin_factory(actual), greedy, config);
+    table.add_row({std::to_string(actual), std::to_string(layout.num_layers),
+                   benchutil::rounds_str(ss_b), benchutil::rounds_str(ss_g),
+                   benchutil::rounds_str(rr_g)});
+    xs.push_back(static_cast<double>(actual));
+    ss_greedy.push_back(static_cast<double>(ss_g));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  benchutil::print_fits(xs, ss_greedy, "strong select vs greedy blocker");
+  return 0;
+}

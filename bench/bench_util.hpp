@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "stats/fit.hpp"
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+
+/// Shared helpers for the bench binaries. Each bench prints one or more
+/// paper-style tables plus the growth-shape fits used by EXPERIMENTS.md.
+
+namespace dualrad::benchutil {
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& expectation) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+  std::cout << "paper expectation: " << expectation << "\n\n";
+}
+
+inline std::string rounds_str(Round r) {
+  return r == kNever ? std::string("never") : std::to_string(r);
+}
+
+/// Completion round, or kNever.
+inline Round measure_rounds(const DualGraph& net, const ProcessFactory& factory,
+                            Adversary& adversary, const SimConfig& config) {
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  return result.completed ? result.completion_round : kNever;
+}
+
+/// Mean completion round over `trials` seeds (kNever trials excluded;
+/// `failures` counts them).
+inline double mean_rounds(const DualGraph& net, const ProcessFactory& factory,
+                          Adversary& adversary, SimConfig config,
+                          std::size_t trials, std::size_t* failures = nullptr) {
+  std::vector<double> samples;
+  std::size_t failed = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    config.seed = mix_seed(0xBE9C, t);
+    const Round r = measure_rounds(net, factory, adversary, config);
+    if (r == kNever) {
+      ++failed;
+    } else {
+      samples.push_back(static_cast<double>(r));
+    }
+  }
+  if (failures != nullptr) *failures = failed;
+  return samples.empty() ? -1.0 : stats::summarize(std::move(samples)).mean;
+}
+
+inline void print_fits(const std::vector<double>& n,
+                       const std::vector<double>& rounds,
+                       const std::string& label) {
+  if (n.size() < 3) return;
+  const auto fits = stats::fit_all_shapes(n, rounds);
+  std::cout << "shape fit for " << label << " (best first):\n";
+  stats::Table table({"shape", "scale", "R^2", "ratio spread"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, fits.size()); ++i) {
+    table.add_row({fits[i].shape, stats::Table::num(fits[i].scale, 4),
+                   stats::Table::num(fits[i].r2, 4),
+                   stats::Table::num(fits[i].ratio_spread, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace dualrad::benchutil

@@ -1,0 +1,66 @@
+// Scenario: communication gray zones (paper intro, [24]).
+//
+// A sensor deployment has reliable short links and a halo of flaky
+// longer-range links. Deployments usually run link-quality assessment (ETX
+// [13]) and cull flaky links before running protocols. The dual graph model
+// asks: what does it cost to keep them?
+//
+// This example runs Harmonic Broadcast three ways on the same deployment:
+//   (a) flaky links kept, friendly radio conditions (benign adversary);
+//   (b) flaky links kept, worst-case gray-zone behavior (greedy blocker);
+//   (c) flaky links culled, ETX-style (classical network on G alone).
+// and prints rounds + message cost for each, over several deployments.
+
+#include <cstdio>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/harmonic.hpp"
+#include "core/simulator.hpp"
+#include "graph/dual_builders.hpp"
+
+int main() {
+  using namespace dualrad;
+
+  std::printf("%-6s %-28s %10s %10s\n", "seed", "configuration", "rounds",
+              "sends");
+  for (std::uint64_t seed : {1, 2, 3}) {
+    duals::GrayZoneParams params;
+    params.n = 64;
+    params.r_reliable = 0.22;
+    params.r_gray = 0.55;
+    params.seed = seed;
+    const DualGraph net = duals::gray_zone(params);
+    const DualGraph culled = duals::strip_unreliable(net);
+    const ProcessFactory harmonic = make_harmonic_factory(net.node_count());
+
+    SimConfig config;
+    config.rule = CollisionRule::CR4;
+    config.start = StartRule::Asynchronous;
+    config.max_rounds = 5'000'000;
+    config.seed = seed;
+
+    BenignAdversary benign;
+    GreedyBlockerAdversary greedy;
+
+    const SimResult friendly = run_broadcast(net, harmonic, benign, config);
+    const SimResult hostile = run_broadcast(net, harmonic, greedy, config);
+    const SimResult etx = run_broadcast(culled, harmonic, benign, config);
+
+    const auto row = [&](const char* name, const SimResult& result) {
+      std::printf("%-6llu %-28s %10lld %10llu\n",
+                  static_cast<unsigned long long>(seed), name,
+                  static_cast<long long>(result.completion_round),
+                  static_cast<unsigned long long>(result.total_sends));
+    };
+    row("gray links, friendly radio", friendly);
+    row("gray links, worst case", hostile);
+    row("gray links culled (ETX)", etx);
+  }
+  std::printf(
+      "\ntakeaway: keeping gray-zone links costs little when conditions are\n"
+      "friendly and the algorithm (harmonic broadcast) tolerates the worst\n"
+      "case — the dual graph model's guarantee — while culling (ETX) simply\n"
+      "forfeits whatever the flaky links could have delivered.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario: running a dual-graph algorithm on an explicit-interference
+// network (Lemma 1 / Appendix A).
+//
+// Builds a (G_T, G_I) network where interference edges can only collide, not
+// convey, and runs Strong Select twice: natively in the interference model,
+// and in the dual graph (G = G_T, G' = G_I) driven by the Appendix A
+// simulating adversary. Prints the first rounds of both traces side by side
+// — they are identical, which is the content of Lemma 1.
+
+#include <cstdio>
+#include <string>
+
+#include "algorithms/strong_select.hpp"
+#include "core/simulator.hpp"
+#include "graph/generators.hpp"
+#include "interference/interference.hpp"
+
+namespace {
+
+std::string show(const dualrad::Reception& reception) {
+  using dualrad::ReceptionKind;
+  switch (reception.kind) {
+    case ReceptionKind::Silence: return ".";
+    case ReceptionKind::Collision: return "T";
+    case ReceptionKind::Message:
+      return "m" + std::to_string(reception.message->origin);
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dualrad;
+
+  // Ring with chordal interference from the hub.
+  Graph gt = gen::cycle(10);
+  Graph gi = gen::cycle(10);
+  for (NodeId v = 2; v < 10; v += 2) gi.add_undirected_edge(0, v);
+  const InterferenceNetwork inet(std::move(gt), std::move(gi), 0);
+  const NodeId n = inet.node_count();
+  const ProcessFactory factory = make_strong_select_factory(n);
+
+  InterferenceConfig iconfig;
+  iconfig.rule = CollisionRule::CR1;
+  iconfig.max_rounds = 100'000;
+  iconfig.trace = TraceLevel::Full;
+  const auto interference = run_interference_broadcast(inet, factory, iconfig);
+
+  const DualGraph dual = inet.to_dual();
+  InterferenceSimAdversary adversary(inet, CollisionRule::CR1);
+  SimConfig dconfig;
+  dconfig.rule = CollisionRule::CR1;
+  dconfig.start = StartRule::Synchronous;
+  dconfig.max_rounds = 100'000;
+  dconfig.trace = TraceLevel::Full;
+  const auto dual_run = run_broadcast(dual, factory, adversary, dconfig);
+
+  std::printf("interference model completed in %lld rounds;"
+              " dual simulation in %lld rounds\n\n",
+              static_cast<long long>(interference.completion_round),
+              static_cast<long long>(dual_run.completion_round));
+
+  std::printf("%-6s | %-40s | %-40s\n", "round", "interference receptions",
+              "dual-graph receptions");
+  const std::size_t show_rounds =
+      std::min<std::size_t>(10, interference.trace.rounds.size());
+  for (std::size_t r = 0; r < show_rounds; ++r) {
+    std::string left, right;
+    for (NodeId v = 0; v < n; ++v) {
+      left += show(interference.trace.rounds[r].receptions[
+                       static_cast<std::size_t>(v)]) + " ";
+      right += show(dual_run.trace.rounds[r].receptions[
+                        static_cast<std::size_t>(v)]) + " ";
+    }
+    std::printf("%-6zu | %-40s | %-40s\n", r + 1, left.c_str(), right.c_str());
+  }
+  std::printf("\n('.' silence, 'T' collision notification, 'mX' message from "
+              "process X — columns match round for round, per Lemma 1)\n");
+  return 0;
+}

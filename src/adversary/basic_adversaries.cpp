@@ -1,0 +1,89 @@
+#include "adversary/basic_adversaries.hpp"
+
+namespace dualrad {
+
+std::vector<ReachChoice> FullInterferenceAdversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  std::vector<ReachChoice> out(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    out[i].extra = view.net->unreliable_out(senders[i]);
+  }
+  return out;
+}
+
+Reception FullInterferenceAdversary::resolve_cr4(
+    const AdversaryView& view, NodeId node,
+    const std::vector<Message>& arrivals) {
+  (void)view;
+  (void)node;
+  if (!deliver_on_cr4_) return Reception::silence();
+  const Message* best = &arrivals.front();
+  for (const Message& m : arrivals) {
+    if (m.origin < best->origin) best = &m;
+  }
+  return Reception::of(*best);
+}
+
+BernoulliAdversary::BernoulliAdversary(double p, std::uint64_t seed,
+                                       bool reset_each_execution)
+    : p_(p),
+      seed_(seed),
+      reset_each_execution_(reset_each_execution),
+      rng_(seed) {
+  DUALRAD_REQUIRE(p >= 0.0 && p <= 1.0, "p must be a probability");
+}
+
+void BernoulliAdversary::on_execution_start(const DualGraph& net) {
+  (void)net;
+  if (reset_each_execution_) rng_ = StreamRng(seed_);
+}
+
+std::vector<ReachChoice> BernoulliAdversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  std::vector<ReachChoice> out(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    for (NodeId v : view.net->unreliable_out(senders[i])) {
+      if (rng_.bernoulli(p_)) out[i].extra.push_back(v);
+    }
+  }
+  return out;
+}
+
+Reception BernoulliAdversary::resolve_cr4(const AdversaryView& view,
+                                          NodeId node,
+                                          const std::vector<Message>& arrivals) {
+  (void)view;
+  (void)node;
+  if (rng_.bernoulli(0.5)) return Reception::silence();
+  return Reception::of(arrivals[static_cast<std::size_t>(
+      rng_.below(arrivals.size()))]);
+}
+
+FixedAssignmentAdversary::FixedAssignmentAdversary(
+    std::vector<ProcessId> process_of_node, Adversary& inner)
+    : process_of_node_(std::move(process_of_node)), inner_(inner) {}
+
+std::vector<ProcessId> FixedAssignmentAdversary::assign_processes(
+    const DualGraph& net) {
+  DUALRAD_REQUIRE(process_of_node_.size() ==
+                      static_cast<std::size_t>(net.node_count()),
+                  "fixed assignment has wrong size");
+  return process_of_node_;
+}
+
+std::vector<ReachChoice> FixedAssignmentAdversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  return inner_.choose_unreliable_reach(view, senders);
+}
+
+Reception FixedAssignmentAdversary::resolve_cr4(
+    const AdversaryView& view, NodeId node,
+    const std::vector<Message>& arrivals) {
+  return inner_.resolve_cr4(view, node, arrivals);
+}
+
+void FixedAssignmentAdversary::on_execution_start(const DualGraph& net) {
+  inner_.on_execution_start(net);
+}
+
+}  // namespace dualrad

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/rng.hpp"
+
+/// \file basic_adversaries.hpp
+/// Simple adversaries: benign (no unreliable edge ever fires), full
+/// interference (every unreliable edge fires every round), and Bernoulli
+/// (each unreliable edge fires independently with probability p).
+///
+/// All are legal adversaries of the model; none is worst-case. They bracket
+/// the space the greedy blocker (greedy_blocker.hpp) and the proof-exact
+/// lower-bound adversaries live in.
+
+namespace dualrad {
+
+/// Never fires an unreliable edge; CR4 collisions resolve to silence.
+/// Equivalent to running on the reliable graph alone.
+class BenignAdversary : public Adversary {};
+
+/// Every unreliable edge fires every round. CR4 collisions resolve to
+/// silence by default, or to the message of the smallest-id sender when
+/// `deliver_on_cr4` is set.
+class FullInterferenceAdversary : public Adversary {
+ public:
+  explicit FullInterferenceAdversary(bool deliver_on_cr4 = false)
+      : deliver_on_cr4_(deliver_on_cr4) {}
+
+  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+
+  [[nodiscard]] Reception resolve_cr4(
+      const AdversaryView& view, NodeId node,
+      const std::vector<Message>& arrivals) override;
+
+ private:
+  bool deliver_on_cr4_;
+};
+
+/// Each unreliable edge fires independently with probability p each round;
+/// CR4 collisions resolve to silence with probability 1/2, otherwise to a
+/// uniformly random arriving message. Fully deterministic given the seed.
+/// By default the noise stream resets at each execution (identical replays,
+/// good for reproducing single runs); pass reset_each_execution = false to
+/// model ongoing channel noise across repeated broadcasts (required for
+/// link-quality estimation experiments, where replayed noise would
+/// correlate the samples).
+class BernoulliAdversary : public Adversary {
+ public:
+  BernoulliAdversary(double p, std::uint64_t seed,
+                     bool reset_each_execution = true);
+
+  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+
+  [[nodiscard]] Reception resolve_cr4(
+      const AdversaryView& view, NodeId node,
+      const std::vector<Message>& arrivals) override;
+
+  void on_execution_start(const DualGraph& net) override;
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  bool reset_each_execution_;
+  StreamRng rng_;
+};
+
+/// Adversary that chooses a fixed proc mapping and otherwise delegates to a
+/// wrapped adversary. Used to pin ids (e.g. "bridge gets id i").
+class FixedAssignmentAdversary : public Adversary {
+ public:
+  FixedAssignmentAdversary(std::vector<ProcessId> process_of_node,
+                           Adversary& inner);
+
+  [[nodiscard]] std::vector<ProcessId> assign_processes(
+      const DualGraph& net) override;
+  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  [[nodiscard]] Reception resolve_cr4(
+      const AdversaryView& view, NodeId node,
+      const std::vector<Message>& arrivals) override;
+  void on_execution_start(const DualGraph& net) override;
+
+ private:
+  std::vector<ProcessId> process_of_node_;
+  Adversary& inner_;
+};
+
+}  // namespace dualrad

@@ -1,0 +1,60 @@
+#include "adversary/greedy_blocker.hpp"
+
+namespace dualrad {
+
+std::vector<ReachChoice> GreedyBlockerAdversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  const DualGraph& net = *view.net;
+  const std::vector<bool>& covered = *view.covered;
+  const auto n = static_cast<std::size_t>(net.node_count());
+
+  // Reliable arrival counts at every node (sender self-arrivals included:
+  // they matter for CR1 at sender nodes, but senders are not blocking
+  // targets below, so count only edge deliveries plus self).
+  std::vector<int> reliable_arrivals(n, 0);
+  std::vector<bool> is_sender(n, false);
+  for (NodeId u : senders) {
+    is_sender[static_cast<std::size_t>(u)] = true;
+    ++reliable_arrivals[static_cast<std::size_t>(u)];  // own message
+    for (NodeId v : net.g().out_neighbors(u)) {
+      ++reliable_arrivals[static_cast<std::size_t>(v)];
+    }
+  }
+
+  std::vector<ReachChoice> out(senders.size());
+  if (senders.size() < 2) return out;  // a lone sender cannot be jammed
+
+  // For each uncovered non-sender about to hear exactly one message, find a
+  // second sender with an unreliable edge to it. Iterate senders' unreliable
+  // adjacency (cheaper than per-target scans on sparse G').
+  std::vector<int> planned_extra(n, 0);
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    const NodeId u = senders[i];
+    for (NodeId v : net.unreliable_out(u)) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (covered[uv] || is_sender[uv]) continue;
+      // Fire u->v iff v currently expects exactly one message and no other
+      // jammer has been assigned yet (one extra message suffices).
+      if (reliable_arrivals[uv] == 1 && planned_extra[uv] == 0) {
+        out[i].extra.push_back(v);
+        planned_extra[uv] = 1;
+      }
+    }
+  }
+  return out;
+}
+
+Reception GreedyBlockerAdversary::resolve_cr4(
+    const AdversaryView& view, NodeId node,
+    const std::vector<Message>& arrivals) {
+  (void)view;
+  (void)node;
+  // Prefer handing over a tokenless message (useless to the algorithm but
+  // indistinguishable from progress); otherwise stay silent.
+  for (const Message& m : arrivals) {
+    if (!m.token) return Reception::of(m);
+  }
+  return Reception::silence();
+}
+
+}  // namespace dualrad

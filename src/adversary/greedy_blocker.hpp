@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/adversary.hpp"
+
+/// \file greedy_blocker.hpp
+/// The greedy collision-blocker: the strongest computable adversary we field
+/// against the upper-bound algorithms.
+///
+/// Strategy, per round, with full knowledge of who is covered:
+///   * If an uncovered node v would receive exactly one message over
+///     reliable edges (progress!), look for another sender w with an
+///     unreliable edge (w, v) and fire it, turning the solo delivery into a
+///     collision. Under CR1/CR2 v then hears top; under CR3 silence; under
+///     CR4 this adversary resolves the collision to silence (or to a
+///     tokenless message if one is available, which is even less useful to
+///     the algorithm).
+///   * No unreliable edge is ever fired toward covered nodes, and no edge is
+///     fired that would itself constitute a solo delivery.
+///
+/// This is exactly the obstruction the paper's lower-bound constructions
+/// weaponize (Theorems 2 and 12): a node whose reliable neighbors are all
+/// covered can still blanket uncovered G'-neighbors with collisions. The
+/// upper-bound theorems hold against every adversary, so measurements under
+/// this one are legal executions; they realize the qualitative worst-case
+/// shape without claiming to be the exact worst case (see DESIGN.md,
+/// Substitutions).
+
+namespace dualrad {
+
+class GreedyBlockerAdversary : public Adversary {
+ public:
+  GreedyBlockerAdversary() = default;
+
+  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+
+  [[nodiscard]] Reception resolve_cr4(
+      const AdversaryView& view, NodeId node,
+      const std::vector<Message>& arrivals) override;
+};
+
+}  // namespace dualrad

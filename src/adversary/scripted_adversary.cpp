@@ -1,0 +1,41 @@
+#include "adversary/scripted_adversary.hpp"
+
+namespace dualrad {
+
+std::vector<ProcessId> ScriptedAdversary::assign_processes(
+    const DualGraph& net) {
+  if (script_.process_of_node.empty()) return Adversary::assign_processes(net);
+  DUALRAD_REQUIRE(script_.process_of_node.size() ==
+                      static_cast<std::size_t>(net.node_count()),
+                  "scripted assignment has wrong size");
+  return script_.process_of_node;
+}
+
+std::vector<ReachChoice> ScriptedAdversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  std::vector<ReachChoice> out(senders.size());
+  const auto r = static_cast<std::size_t>(view.round - 1);
+  if (r >= script_.reach.size()) return out;
+  const auto& plan = script_.reach[r];
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    if (const auto it = plan.find(senders[i]); it != plan.end()) {
+      out[i].extra = it->second;
+    }
+  }
+  return out;
+}
+
+Reception ScriptedAdversary::resolve_cr4(const AdversaryView& view,
+                                         NodeId node,
+                                         const std::vector<Message>& arrivals) {
+  (void)arrivals;
+  const auto r = static_cast<std::size_t>(view.round - 1);
+  if (r < script_.cr4.size()) {
+    if (const auto it = script_.cr4[r].find(node); it != script_.cr4[r].end()) {
+      return it->second;
+    }
+  }
+  return Reception::silence();
+}
+
+}  // namespace dualrad

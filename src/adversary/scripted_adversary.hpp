@@ -1,0 +1,46 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/adversary.hpp"
+
+/// \file scripted_adversary.hpp
+/// An adversary that replays recorded choices. Used to re-execute the
+/// executions constructed by the lower-bound builders (notably Theorem 12)
+/// inside the real simulator, verifying that they are legal executions of
+/// the model in which the algorithm indeed fails to finish.
+
+namespace dualrad {
+
+struct AdversaryScript {
+  std::vector<ProcessId> process_of_node{};
+  /// reach[r-1][sender node] = extra (G'-only) nodes reached in round r.
+  /// Senders absent from the map get no extras; rounds beyond the script
+  /// get no extras.
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> reach{};
+  /// cr4[r-1][node] = forced resolution for a CR4 collision at `node` in
+  /// round r. Nodes absent from the map resolve to silence.
+  std::vector<std::unordered_map<NodeId, Reception>> cr4{};
+};
+
+class ScriptedAdversary : public Adversary {
+ public:
+  explicit ScriptedAdversary(AdversaryScript script)
+      : script_(std::move(script)) {}
+
+  [[nodiscard]] std::vector<ProcessId> assign_processes(
+      const DualGraph& net) override;
+
+  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+
+  [[nodiscard]] Reception resolve_cr4(
+      const AdversaryView& view, NodeId node,
+      const std::vector<Message>& arrivals) override;
+
+ private:
+  AdversaryScript script_;
+};
+
+}  // namespace dualrad

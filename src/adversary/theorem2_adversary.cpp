@@ -1,0 +1,50 @@
+#include "adversary/theorem2_adversary.hpp"
+
+namespace dualrad {
+
+std::vector<ReachChoice> Theorem2Adversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  const DualGraph& net = *view.net;
+  std::vector<ReachChoice> out(senders.size());
+  if (senders.empty()) return out;
+
+  if (senders.size() >= 2) {
+    // Rule 1: every message reaches everyone.
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      out[i].extra = net.unreliable_out(senders[i]);
+    }
+    return out;
+  }
+
+  const NodeId u = senders.front();
+  if (u == layout_.receiver) {
+    // Rule 3 (receiver): reach everyone; its only reliable edge is to the
+    // bridge, the rest are unreliable.
+    out.front().extra = net.unreliable_out(u);
+  }
+  // Rule 3 (bridge): reliable edges already cover everyone; no extras.
+  // Rule 2 (clique non-bridge): reliable edges cover exactly C; no extras.
+  return out;
+}
+
+std::vector<ProcessId> theorem2_assignment(NodeId n, ProcessId bridge_id) {
+  DUALRAD_REQUIRE(n >= 3, "bridge network needs n >= 3");
+  DUALRAD_REQUIRE(bridge_id >= 1 && bridge_id <= n - 2,
+                  "bridge id must be an inner id");
+  const auto layout = duals::bridge_layout(n);
+  std::vector<ProcessId> process_of_node(static_cast<std::size_t>(n),
+                                         kInvalidProcess);
+  process_of_node[static_cast<std::size_t>(layout.source)] = 0;
+  process_of_node[static_cast<std::size_t>(layout.receiver)] = n - 1;
+  process_of_node[static_cast<std::size_t>(layout.bridge)] = bridge_id;
+  ProcessId next = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    auto& slot = process_of_node[static_cast<std::size_t>(v)];
+    if (slot != kInvalidProcess) continue;
+    while (next == bridge_id) ++next;
+    slot = next++;
+  }
+  return process_of_node;
+}
+
+}  // namespace dualrad

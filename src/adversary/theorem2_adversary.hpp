@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "graph/dual_builders.hpp"
+
+/// \file theorem2_adversary.hpp
+/// The fixed communication rules from the proof of Theorem 2, on the bridge
+/// network (clique C of n-1 nodes containing source s and bridge b, plus a
+/// receiver r attached only to b; G' complete):
+///
+///   1. If more than one process sends, all messages reach all processes
+///      (everyone receives top under CR1).
+///   2. If a single process at a node in C - {b} sends, its message reaches
+///      exactly the processes at nodes in C (the receiver hears bottom).
+///   3. If only proc(b) or only proc(r) sends, the message reaches everyone.
+///
+/// The adversary resolves only communication nondeterminism; the proc
+/// mapping is chosen by the surrounding harness (lowerbound/theorem2.hpp),
+/// which pins the bridge id. The rules never let the message cross to the
+/// receiver until the bridge process sends alone.
+
+namespace dualrad {
+
+class Theorem2Adversary : public Adversary {
+ public:
+  explicit Theorem2Adversary(duals::BridgeNetworkLayout layout)
+      : layout_(layout) {}
+
+  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+
+ private:
+  duals::BridgeNetworkLayout layout_;
+};
+
+/// The proc mapping of the Theorem 2 executions alpha_i: the source node
+/// gets id 0, the receiver node gets id n-1, the bridge node gets
+/// `bridge_id`, and the remaining ids fill the remaining clique nodes in
+/// ascending order (the proof's "default rule").
+[[nodiscard]] std::vector<ProcessId> theorem2_assignment(NodeId n,
+                                                         ProcessId bridge_id);
+
+}  // namespace dualrad

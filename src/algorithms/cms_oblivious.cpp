@@ -1,0 +1,50 @@
+#include "algorithms/cms_oblivious.hpp"
+
+#include <memory>
+
+#include "algorithms/broadcast_algorithm.hpp"
+#include "selectors/kautz_singleton.hpp"
+
+namespace dualrad {
+namespace {
+
+class CmsObliviousProcess final : public TokenProcess {
+ public:
+  CmsObliviousProcess(ProcessId id, std::shared_ptr<const SsfFamily> family)
+      : TokenProcess(id), family_(std::move(family)) {}
+  CmsObliviousProcess(const CmsObliviousProcess&) = default;
+
+  [[nodiscard]] Action next_action(Round round) const override {
+    if (!has_token() || round <= token_round()) return Action::silent();
+    const auto slot = static_cast<std::size_t>(
+        (round - 1) % static_cast<Round>(family_->size()));
+    if (!family_->contains(slot, id())) return Action::silent();
+    return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
+                                    /*round_tag=*/round, /*payload=*/0});
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<CmsObliviousProcess>(*this);
+  }
+
+ private:
+  std::shared_ptr<const SsfFamily> family_;
+};
+
+}  // namespace
+
+ProcessFactory make_cms_oblivious_factory(NodeId n,
+                                          const CmsObliviousOptions& options) {
+  DUALRAD_REQUIRE(n >= 2, "cms oblivious needs n >= 2");
+  DUALRAD_REQUIRE(options.delta >= 1, "delta (known in-degree bound) required");
+  const NodeId k = std::min<NodeId>(n, options.delta + 1);
+  const SsfFamily family = options.provider ? options.provider(n, k)
+                                            : kautz_singleton_ssf(n, k);
+  auto shared = std::make_shared<const SsfFamily>(std::move(family));
+  return [shared, n](ProcessId id, NodeId n_arg, std::uint64_t /*seed*/) {
+    DUALRAD_REQUIRE(n_arg == n, "factory built for a different n");
+    return std::make_unique<CmsObliviousProcess>(id, shared);
+  };
+}
+
+}  // namespace dualrad

@@ -1,0 +1,53 @@
+#include "algorithms/decay.hpp"
+
+#include <cmath>
+
+#include "algorithms/broadcast_algorithm.hpp"
+#include "core/rng.hpp"
+
+namespace dualrad {
+
+Round decay_phase_length(NodeId n, const DecayOptions& options) {
+  DUALRAD_REQUIRE(n >= 2, "decay needs n >= 2");
+  if (options.phase_length > 0) return options.phase_length;
+  return static_cast<Round>(
+             std::ceil(std::log2(static_cast<double>(n)))) + 1;
+}
+
+namespace {
+
+class DecayProcess final : public TokenProcess {
+ public:
+  DecayProcess(ProcessId id, Round phase, std::uint64_t seed)
+      : TokenProcess(id), phase_(phase), rng_(seed) {}
+  DecayProcess(const DecayProcess&) = default;
+
+  [[nodiscard]] Action next_action(Round round) const override {
+    if (!has_token() || round <= token_round()) return Action::silent();
+    const auto offset = static_cast<int>((round - 1) % phase_);
+    const double p = std::ldexp(1.0, -offset);  // 2^{-offset}
+    if (!rng_.bernoulli(p, round)) return Action::silent();
+    return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
+                                    /*round_tag=*/round, /*payload=*/0});
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<DecayProcess>(*this);
+  }
+
+ private:
+  Round phase_;
+  CounterRng rng_;
+};
+
+}  // namespace
+
+ProcessFactory make_decay_factory(NodeId n, const DecayOptions& options) {
+  const Round phase = decay_phase_length(n, options);
+  return [phase, n](ProcessId id, NodeId n_arg, std::uint64_t seed) {
+    DUALRAD_REQUIRE(n_arg == n, "factory built for a different n");
+    return std::make_unique<DecayProcess>(id, phase, seed);
+  };
+}
+
+}  // namespace dualrad

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/process.hpp"
+
+/// \file decay.hpp
+/// The classical randomized baseline: Bar-Yehuda-Goldreich-Itai style Decay.
+///
+/// Rounds are grouped into phases of length ceil(log2 n) + 1; in offset j of
+/// each phase an informed node transmits with probability 2^{-j}. In the
+/// classical (reliable, G == G') model this completes in
+/// O((D + log n) log n) rounds w.h.p. — the right-shape stand-in for the
+/// optimal O(D log(n/D) + log^2 n) algorithm of [12] cited in Table 2. In
+/// dual graphs it carries no guarantee (the adversary can starve it), which
+/// is exactly the contrast Table 2 draws.
+
+namespace dualrad {
+
+struct DecayOptions {
+  /// Phase length; 0 derives ceil(log2 n) + 1.
+  Round phase_length = 0;
+};
+
+[[nodiscard]] Round decay_phase_length(NodeId n, const DecayOptions& options = {});
+
+[[nodiscard]] ProcessFactory make_decay_factory(NodeId n,
+                                                const DecayOptions& options = {});
+
+}  // namespace dualrad

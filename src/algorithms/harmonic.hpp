@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/process.hpp"
+
+/// \file harmonic.hpp
+/// The Harmonic Broadcast randomized algorithm (Section 7).
+///
+/// A node v that first receives the message in round t_v transmits in every
+/// round t > t_v with probability
+///     p_v(t) = 1 / (1 + floor((t - t_v - 1) / T)),
+/// i.e. probability 1 for the first T rounds after receipt, then 1/2 for T
+/// rounds, then 1/3, ... The source has t_s = 0. With T = ceil(12 ln(n/eps))
+/// the broadcast completes within 2 n T H(n) rounds with probability at
+/// least 1 - eps (Theorem 18); with eps = n^{-O(1)} this is O(n log^2 n)
+/// w.h.p. (Theorem 19). Works under CR4 and asynchronous start, directed or
+/// undirected networks.
+
+namespace dualrad {
+
+struct HarmonicOptions {
+  /// The parameter T ("script T" in the paper). 0 means derive it as
+  /// ceil(constant * ln(n / eps)).
+  Round T = 0;
+  double eps = 0.1;
+  /// The paper's proof constant is 12; exposed for the A3 ablation.
+  double constant = 12.0;
+};
+
+/// The T that make_harmonic_factory(n, options) will use.
+[[nodiscard]] Round harmonic_T(NodeId n, const HarmonicOptions& options = {});
+
+/// p_v(t) for a node with token round t_v (pure; exposed for tests and the
+/// busy-round audit of Lemma 15).
+[[nodiscard]] double harmonic_probability(Round t, Round token_round, Round T);
+
+/// The paper's completion bound 2 n T H(n) (Theorem 18).
+[[nodiscard]] Round harmonic_round_bound(NodeId n, Round T);
+
+[[nodiscard]] ProcessFactory make_harmonic_factory(
+    NodeId n, const HarmonicOptions& options = {});
+
+}  // namespace dualrad

@@ -1,0 +1,38 @@
+#include "algorithms/round_robin_bcast.hpp"
+
+#include "algorithms/broadcast_algorithm.hpp"
+
+namespace dualrad {
+namespace {
+
+class RoundRobinProcess final : public TokenProcess {
+ public:
+  RoundRobinProcess(ProcessId id, NodeId n) : TokenProcess(id), n_(n) {}
+  RoundRobinProcess(const RoundRobinProcess&) = default;
+
+  [[nodiscard]] Action next_action(Round round) const override {
+    if (!has_token() || round <= token_round()) return Action::silent();
+    if (round % n_ != id() % n_) return Action::silent();
+    return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
+                                    /*round_tag=*/round, /*payload=*/0});
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<RoundRobinProcess>(*this);
+  }
+
+ private:
+  NodeId n_;
+};
+
+}  // namespace
+
+ProcessFactory make_round_robin_factory(NodeId n) {
+  DUALRAD_REQUIRE(n >= 1, "round robin needs n >= 1");
+  return [n](ProcessId id, NodeId n_arg, std::uint64_t /*seed*/) {
+    DUALRAD_REQUIRE(n_arg == n, "factory built for a different n");
+    return std::make_unique<RoundRobinProcess>(id, n);
+  };
+}
+
+}  // namespace dualrad

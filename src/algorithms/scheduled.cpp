@@ -1,0 +1,48 @@
+#include "algorithms/scheduled.hpp"
+
+#include <memory>
+
+#include "algorithms/broadcast_algorithm.hpp"
+
+namespace dualrad {
+namespace {
+
+class ScheduledProcess final : public TokenProcess {
+ public:
+  ScheduledProcess(ProcessId id, std::shared_ptr<const std::vector<ProcessId>> slots)
+      : TokenProcess(id), slots_(std::move(slots)) {}
+  ScheduledProcess(const ScheduledProcess&) = default;
+
+  [[nodiscard]] Action next_action(Round round) const override {
+    if (!has_token() || round <= token_round()) return Action::silent();
+    const auto period = static_cast<Round>(slots_->size());
+    if ((*slots_)[static_cast<std::size_t>((round - 1) % period)] != id()) {
+      return Action::silent();
+    }
+    return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
+                                    /*round_tag=*/round, /*payload=*/0});
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<ScheduledProcess>(*this);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<ProcessId>> slots_;
+};
+
+}  // namespace
+
+ProcessFactory make_scheduled_factory(NodeId n, std::vector<ProcessId> slots) {
+  DUALRAD_REQUIRE(!slots.empty(), "schedule must be non-empty");
+  for (ProcessId p : slots) {
+    DUALRAD_REQUIRE(p >= 0 && p < n, "schedule entry out of range");
+  }
+  auto shared = std::make_shared<const std::vector<ProcessId>>(std::move(slots));
+  return [shared, n](ProcessId id, NodeId n_arg, std::uint64_t /*seed*/) {
+    DUALRAD_REQUIRE(n_arg == n, "factory built for a different n");
+    return std::make_unique<ScheduledProcess>(id, shared);
+  };
+}
+
+}  // namespace dualrad

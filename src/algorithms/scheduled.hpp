@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "core/process.hpp"
+
+/// \file scheduled.hpp
+/// TDMA-style scheduled broadcast: a fixed single-sender-per-round schedule
+/// over process ids, repeated cyclically. With one sender per round no
+/// collisions can occur, so the schedule's coverage is adversary-proof —
+/// this is the "oracle" side of k-broadcastability (Section 3) turned into
+/// an executable algorithm, and the payoff of topology learning in the
+/// repeated-broadcast experiments (the paper's future-work direction).
+
+namespace dualrad {
+
+/// slots[r] is the process id transmitting in rounds r+1, r+1+P, ... where
+/// P = slots.size(); a process transmits only once it holds the token.
+[[nodiscard]] ProcessFactory make_scheduled_factory(
+    NodeId n, std::vector<ProcessId> slots);
+
+}  // namespace dualrad

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+#include "selectors/kautz_singleton.hpp"
+#include "selectors/ssf.hpp"
+
+/// \file strong_select.hpp
+/// The Strong Select deterministic broadcast algorithm (Section 5).
+///
+/// Rounds are divided into epochs of length 2^{s_max} - 1. Within an epoch,
+/// round 1 is dedicated to the smallest SSF F_1, rounds 2-3 to F_2, rounds
+/// 4-7 to F_3, ...: 2^{s-1} sets of F_s per epoch, so each family advances
+/// through its sets at a rate proportional to its strength. F_s is an
+/// (n, 2^s)-SSF; the largest family F_{s_max} (k = 2^{s_max} ~ sqrt(n/log n))
+/// is the round-robin sequence, an (n,n)-SSF.
+///
+/// A node that first receives the message waits, for each s, until F_s cycles
+/// back to its first set, participates in exactly one full iteration of F_s
+/// (broadcasting whenever its id is in the current set), then stops using
+/// that family; when it has finished one iteration of every family it stops
+/// broadcasting forever. Participating exactly once bounds the interval
+/// during which a node whose reliable neighbors are all covered can still
+/// interfere with uncovered nodes — the crux of the dual-graph analysis
+/// (see the discussion before Definition 6).
+///
+/// The theorem: broadcast completes within O(n^{3/2} sqrt(log n)) rounds in
+/// any directed or undirected dual graph network, under CR4 and asynchronous
+/// start (Theorem 10).
+
+namespace dualrad {
+
+/// Precomputed schedule shared by all processes of one Strong Select
+/// instance: the SSF families and the round -> (family, slot) geometry.
+class StrongSelectSchedule {
+ public:
+  /// Index of a round within the epoch structure.
+  struct Slot {
+    int s = 0;        ///< family index, 1-based
+    Round index = 0;  ///< global slot counter of family s (0-based)
+  };
+
+  static std::shared_ptr<const StrongSelectSchedule> make(
+      NodeId n, const SsfProvider& provider);
+
+  [[nodiscard]] NodeId n() const { return n_; }
+  [[nodiscard]] int s_max() const { return s_max_; }
+  [[nodiscard]] Round epoch_length() const { return epoch_len_; }
+  [[nodiscard]] const SsfFamily& family(int s) const;
+  /// Number of sets in family s (the paper's ell_s).
+  [[nodiscard]] Round ell(int s) const;
+  /// Rounds for one complete iteration of family s
+  /// (ell'_s = ell_s (2^{s_max}-1) / 2^{s-1} in the paper).
+  [[nodiscard]] Round iteration_rounds(int s) const;
+
+  /// Which family set is scheduled at round r (r >= 1).
+  [[nodiscard]] Slot slot_of_round(Round r) const;
+
+  /// Number of family-s slots scheduled in rounds [1, t] (t >= 0); this is
+  /// also the 0-based index of the first family-s slot after round t.
+  [[nodiscard]] Round slots_before(Round t, int s) const;
+
+  /// The slot index at which a node that received the message at round t
+  /// starts its (single) iteration of family s: the first multiple of
+  /// ell(s) at or after slots_before(t, s).
+  [[nodiscard]] Round participation_start(Round token_round, int s) const;
+
+  /// An upper bound on the round by which a node that received the token at
+  /// round t has finished all families (used by termination tests).
+  [[nodiscard]] Round done_round_bound(Round token_round) const;
+
+ private:
+  StrongSelectSchedule() = default;
+
+  NodeId n_ = 0;
+  int s_max_ = 0;
+  Round epoch_len_ = 0;
+  std::vector<SsfFamily> families_{};
+};
+
+struct StrongSelectOptions {
+  /// SSF provider for families F_1 .. F_{s_max - 1}; F_{s_max} is always
+  /// round-robin as in the paper. Default: constructive Kautz-Singleton.
+  SsfProvider provider = [](NodeId n, NodeId k) {
+    return kautz_singleton_ssf(n, k);
+  };
+  /// Ablation: participate in every iteration of every family after joining
+  /// (the classical reliable-model strategy of [6,7]) instead of exactly
+  /// once. Nodes then never stop broadcasting.
+  bool participate_forever = false;
+};
+
+/// Factory for Strong Select processes. The schedule is computed once per
+/// factory and shared among processes.
+[[nodiscard]] ProcessFactory make_strong_select_factory(
+    NodeId n, const StrongSelectOptions& options = {});
+
+/// Direct access to the schedule a factory would use (for tests/benches).
+[[nodiscard]] std::shared_ptr<const StrongSelectSchedule>
+make_strong_select_schedule(NodeId n, const StrongSelectOptions& options = {});
+
+}  // namespace dualrad

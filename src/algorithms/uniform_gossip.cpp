@@ -1,0 +1,52 @@
+#include "algorithms/uniform_gossip.hpp"
+
+#include "algorithms/broadcast_algorithm.hpp"
+#include "core/rng.hpp"
+
+namespace dualrad {
+
+double uniform_gossip_p(NodeId n, const UniformGossipOptions& options) {
+  DUALRAD_REQUIRE(n >= 2, "uniform gossip needs n >= 2");
+  if (options.p > 0) {
+    DUALRAD_REQUIRE(options.p <= 1.0, "p must be a probability");
+    return options.p;
+  }
+  return 1.0 / static_cast<double>(n - 1);
+}
+
+namespace {
+
+class UniformGossipProcess final : public TokenProcess {
+ public:
+  UniformGossipProcess(ProcessId id, double p, std::uint64_t seed)
+      : TokenProcess(id), p_(p), rng_(seed) {}
+  UniformGossipProcess(const UniformGossipProcess&) = default;
+
+  [[nodiscard]] Action next_action(Round round) const override {
+    if (!has_token() || round <= token_round()) return Action::silent();
+    if (!rng_.bernoulli(p_, round)) return Action::silent();
+    return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
+                                    /*round_tag=*/round, /*payload=*/0});
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<UniformGossipProcess>(*this);
+  }
+
+ private:
+  double p_;
+  CounterRng rng_;
+};
+
+}  // namespace
+
+ProcessFactory make_uniform_gossip_factory(NodeId n,
+                                           const UniformGossipOptions& options) {
+  const double p = uniform_gossip_p(n, options);
+  return [p, n](ProcessId id, NodeId n_arg, std::uint64_t seed) {
+    DUALRAD_REQUIRE(n_arg == n, "factory built for a different n");
+    return std::make_unique<UniformGossipProcess>(id, p, seed);
+  };
+}
+
+}  // namespace dualrad

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/process.hpp"
+
+/// \file uniform_gossip.hpp
+/// Uniform gossip: an informed node transmits with a fixed probability p
+/// every round. With p ~ 1/n this is the natural randomized strategy for
+/// dense constant-diameter networks (each round the chance that exactly one
+/// informed node sends is ~1/e), and it is the cleanest algorithm to plot
+/// against the Theorem 4 bound: its per-round solo-isolation probability is
+/// about 1/(e n), so P[success within k] grows ~k/(e n) — strictly below the
+/// theorem's k/(n-2) ceiling, tracing a non-degenerate curve under it.
+
+namespace dualrad {
+
+struct UniformGossipOptions {
+  /// Transmission probability; 0 derives 1/(n-1).
+  double p = 0.0;
+};
+
+[[nodiscard]] double uniform_gossip_p(NodeId n,
+                                      const UniformGossipOptions& options = {});
+
+[[nodiscard]] ProcessFactory make_uniform_gossip_factory(
+    NodeId n, const UniformGossipOptions& options = {});
+
+}  // namespace dualrad

@@ -1,0 +1,77 @@
+#include "algorithms/wakeup_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/harmonic.hpp"
+
+namespace dualrad::wakeup {
+
+double probability_sum(const std::vector<Round>& pattern, Round t, Round T) {
+  DUALRAD_REQUIRE(T >= 1, "T must be positive");
+  double sum = 0.0;
+  for (Round tv : pattern) sum += harmonic_probability(t, tv, T);
+  return sum;
+}
+
+Round lemma15_bound(NodeId n, Round T) {
+  double h = 0.0;
+  for (NodeId i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return static_cast<Round>(std::ceil(static_cast<double>(n) *
+                                      static_cast<double>(T) * h));
+}
+
+Round busy_rounds(const std::vector<Round>& pattern, Round T, Round horizon) {
+  DUALRAD_REQUIRE(!pattern.empty(), "pattern must be non-empty");
+  DUALRAD_REQUIRE(std::is_sorted(pattern.begin(), pattern.end()),
+                  "pattern must be non-decreasing");
+  if (horizon <= 0) {
+    // Past max(t_v) + n * T, each node's probability is < 1/n, so the sum is
+    // < 1 and every round is free; the Lemma 15 bound horizon also works.
+    horizon = pattern.back() +
+              static_cast<Round>(pattern.size()) * T +
+              lemma15_bound(static_cast<NodeId>(pattern.size()), T);
+  }
+  Round busy = 0;
+  for (Round t = 1; t <= horizon; ++t) {
+    if (probability_sum(pattern, t, T) >= 1.0) ++busy;
+  }
+  return busy;
+}
+
+Round first_free_round(const std::vector<Round>& pattern, Round T) {
+  for (Round t = 1;; ++t) {
+    if (probability_sum(pattern, t, T) < 1.0) return t;
+  }
+}
+
+std::vector<Round> stacked_pattern(NodeId n) {
+  std::vector<Round> pattern(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    pattern[static_cast<std::size_t>(i)] = i;
+  }
+  return pattern;
+}
+
+namespace {
+
+Round enumerate(std::vector<Round>& pattern, std::size_t index, Round lo,
+                Round max_round, Round T) {
+  if (index == pattern.size()) return busy_rounds(pattern, T);
+  Round best = 0;
+  for (Round t = lo; t <= max_round; ++t) {
+    pattern[index] = t;
+    best = std::max(best, enumerate(pattern, index + 1, t, max_round, T));
+  }
+  return best;
+}
+
+}  // namespace
+
+Round max_busy_rounds_exhaustive(NodeId n, Round T, Round max_round) {
+  DUALRAD_REQUIRE(n >= 1 && n <= 8, "exhaustive search is for small n");
+  std::vector<Round> pattern(static_cast<std::size_t>(n), 0);
+  return enumerate(pattern, 1, 0, max_round, T);
+}
+
+}  // namespace dualrad::wakeup

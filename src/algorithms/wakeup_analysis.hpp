@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file wakeup_analysis.hpp
+/// Executable combinatorics of Section 7's analysis: wake-up patterns and
+/// busy rounds (Lemmas 14 and 15).
+///
+/// A wake-up pattern is a non-decreasing sequence 0 = t_1 <= ... <= t_n of
+/// rounds at which the n nodes first receive the message. The pattern fully
+/// determines every node's transmission probability in every round. Round t
+/// is *busy* if the probabilities sum to >= 1, else *free*.
+///
+/// Lemma 14: some busy-round-maximizing pattern has all its busy rounds
+/// first. Lemma 15: no pattern induces more than n * T * H(n) busy rounds.
+/// This module computes the quantities so the suite can check both on
+/// exhaustive small instances and on adversarially-shaped patterns.
+
+namespace dualrad::wakeup {
+
+/// Sum of transmission probabilities in round t under `pattern`.
+[[nodiscard]] double probability_sum(const std::vector<Round>& pattern,
+                                     Round t, Round T);
+
+/// Total busy rounds induced by `pattern` up to `horizon`
+/// (horizon defaults to the Lemma 15 bound, past which everything is free).
+[[nodiscard]] Round busy_rounds(const std::vector<Round>& pattern, Round T,
+                                Round horizon = 0);
+
+/// First free round >= 1 (the tau of Lemma 15's induction).
+[[nodiscard]] Round first_free_round(const std::vector<Round>& pattern,
+                                     Round T);
+
+/// The Lemma 15 bound n * T * H(n), rounded up.
+[[nodiscard]] Round lemma15_bound(NodeId n, Round T);
+
+/// The extremal "stacked" pattern used in the Lemma 14 argument: all nodes
+/// wake as early as possible subject to waking one per step: t_i = i - 1.
+[[nodiscard]] std::vector<Round> stacked_pattern(NodeId n);
+
+/// Exhaustively enumerate all non-decreasing patterns with entries in
+/// [0, max_round] (t_1 = 0) and return the maximum busy-round count.
+/// Cost: C(max_round + n - 1, n - 1); intended for small n (tests).
+[[nodiscard]] Round max_busy_rounds_exhaustive(NodeId n, Round T,
+                                               Round max_round);
+
+}  // namespace dualrad::wakeup

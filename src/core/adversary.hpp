@@ -1,0 +1,83 @@
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/reception.hpp"
+#include "core/types.hpp"
+#include "graph/dual_graph.hpp"
+
+/// \file adversary.hpp
+/// The adversary interface (Section 2.1).
+///
+/// In general an adversary may choose (a) the proc mapping from nodes to
+/// processes, (b) for each sender and round, which G'-only out-neighbors the
+/// message additionally reaches, and (c) under CR4, how collisions at
+/// non-senders resolve. An *adversary class* restricts these choices and the
+/// information available; the lower-bound adversaries in this library are
+/// heavily restricted (they follow fixed rules from the proofs), while the
+/// benchmark adversaries use full knowledge, which only strengthens
+/// upper-bound experiments.
+
+namespace dualrad {
+
+/// Read-only view of execution state offered to adversaries. Worst-case
+/// adversaries may use all of it; restricted adversaries ignore most fields.
+struct AdversaryView {
+  const DualGraph* net = nullptr;
+  /// node -> process id (the proc mapping currently in force).
+  const std::vector<ProcessId>* process_of_node = nullptr;
+  /// node -> whether the process there already holds the broadcast token
+  /// (state *before* this round's deliveries).
+  const std::vector<bool>* covered = nullptr;
+  Round round = 0;
+};
+
+/// One sender's outgoing delivery choice for a round.
+struct ReachChoice {
+  /// Subset of the sender's G'-only out-neighbors additionally reached.
+  /// (G-out-neighbors are always reached and must not be listed here.)
+  std::vector<NodeId> extra{};
+};
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Choose the proc mapping: result[node] = process id placed at node.
+  /// Must be a permutation of {0..n-1}. Default: identity.
+  [[nodiscard]] virtual std::vector<ProcessId> assign_processes(
+      const DualGraph& net) {
+    std::vector<ProcessId> ids(static_cast<std::size_t>(net.node_count()));
+    std::iota(ids.begin(), ids.end(), 0);
+    return ids;
+  }
+
+  /// For each sending node (senders[i]), choose the G'-only out-neighbors its
+  /// message additionally reaches this round. Returned vector must be
+  /// parallel to `senders`. Default: no unreliable edge fires.
+  [[nodiscard]] virtual std::vector<ReachChoice> choose_unreliable_reach(
+      const AdversaryView& view, const std::vector<NodeId>& senders) {
+    (void)view;
+    return std::vector<ReachChoice>(senders.size());
+  }
+
+  /// CR4 only: node `node` (which did not send) is reached by >= 2 messages;
+  /// return Silence or one of `arrivals`. Default: silence (which coincides
+  /// with CR3).
+  [[nodiscard]] virtual Reception resolve_cr4(
+      const AdversaryView& view, NodeId node,
+      const std::vector<Message>& arrivals) {
+    (void)view;
+    (void)node;
+    (void)arrivals;
+    return Reception::silence();
+  }
+
+  /// Called once at the start of each execution, so stateful adversaries can
+  /// reset. Default: no-op.
+  virtual void on_execution_start(const DualGraph& net) { (void)net; }
+};
+
+}  // namespace dualrad

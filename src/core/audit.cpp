@@ -1,0 +1,122 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dualrad::audit {
+namespace {
+
+std::string at(Round round, NodeId node) {
+  std::ostringstream ss;
+  ss << "round " << round << " node " << node << ": ";
+  return ss.str();
+}
+
+}  // namespace
+
+AuditReport audit_execution(const DualGraph& net, const SimResult& result,
+                            CollisionRule rule) {
+  AuditReport report;
+  if (result.trace.level != TraceLevel::Full) {
+    report.fail("audit requires a full trace");
+    return report;
+  }
+  const NodeId n = net.node_count();
+  std::vector<Round> token_seen(static_cast<std::size_t>(n), kNever);
+  token_seen[static_cast<std::size_t>(net.source())] = 0;
+
+  for (const auto& record : result.trace.rounds) {
+    // Reconstruct arrivals.
+    std::vector<std::vector<Message>> arrivals(static_cast<std::size_t>(n));
+    std::vector<bool> is_sender(static_cast<std::size_t>(n), false);
+    for (const auto& sender : record.senders) {
+      is_sender[static_cast<std::size_t>(sender.node)] = true;
+      arrivals[static_cast<std::size_t>(sender.node)].push_back(sender.message);
+
+      std::set<NodeId> reached(sender.reached.begin(), sender.reached.end());
+      if (reached.size() != sender.reached.size()) {
+        report.fail(at(record.round, sender.node) + "duplicate reach entries");
+      }
+      for (NodeId v : sender.reached) {
+        if (!net.g_prime().has_edge(sender.node, v)) {
+          report.fail(at(record.round, sender.node) + "reached non-neighbor " +
+                      std::to_string(v));
+        }
+        arrivals[static_cast<std::size_t>(v)].push_back(sender.message);
+      }
+      for (NodeId v : net.g().out_neighbors(sender.node)) {
+        if (!reached.contains(v)) {
+          report.fail(at(record.round, sender.node) +
+                      "reliable edge skipped to " + std::to_string(v));
+        }
+      }
+      if (sender.message.token &&
+          token_seen[static_cast<std::size_t>(sender.node)] == kNever) {
+        report.fail(at(record.round, sender.node) +
+                    "transmitted the token without holding it");
+      }
+    }
+
+    // Reception consistency.
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (uv >= record.receptions.size()) break;
+      const Reception& rec = record.receptions[uv];
+      const auto& arr = arrivals[uv];
+      switch (rec.kind) {
+        case ReceptionKind::Collision:
+          if (rule != CollisionRule::CR1 && rule != CollisionRule::CR2) {
+            report.fail(at(record.round, v) +
+                        "collision notification under " + to_string(rule));
+          }
+          if (arr.size() < 2) {
+            report.fail(at(record.round, v) +
+                        "collision notification without a collision");
+          }
+          break;
+        case ReceptionKind::Message: {
+          const bool arrived =
+              std::find(arr.begin(), arr.end(), *rec.message) != arr.end();
+          if (!arrived) {
+            report.fail(at(record.round, v) +
+                        "received a message that did not arrive");
+          }
+          if (arr.size() > 1 && !is_sender[uv] &&
+              rule != CollisionRule::CR4) {
+            report.fail(at(record.round, v) +
+                        "non-sender received one of several messages under " +
+                        to_string(rule));
+          }
+          break;
+        }
+        case ReceptionKind::Silence:
+          if (arr.size() == 1 && !is_sender[uv]) {
+            report.fail(at(record.round, v) +
+                        "heard silence despite a sole arrival");
+          }
+          // A sender's own message always reaches it, so a sender can never
+          // hear silence under any rule (CR1 gives it the message or top).
+          if (is_sender[uv]) {
+            report.fail(at(record.round, v) + "sender heard silence");
+          }
+          break;
+      }
+      if (rec.has_token() && token_seen[uv] == kNever) {
+        token_seen[uv] = record.round;
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (result.first_token[uv] != token_seen[uv]) {
+      report.fail("first_token mismatch at node " + std::to_string(v) +
+                  ": result says " + std::to_string(result.first_token[uv]) +
+                  ", trace says " + std::to_string(token_seen[uv]));
+    }
+  }
+  return report;
+}
+
+}  // namespace dualrad::audit

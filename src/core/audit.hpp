@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "graph/dual_graph.hpp"
+
+/// \file audit.hpp
+/// Execution-trace auditing: independent re-verification that a recorded
+/// execution obeys the dual graph model's delivery rules. Used by the test
+/// suite, the lower-bound replay harnesses, and available to users who write
+/// their own adversaries (the simulator validates choices online; the
+/// auditor re-checks the whole trace after the fact).
+
+namespace dualrad::audit {
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> violations{};
+
+  void fail(std::string what) {
+    ok = false;
+    violations.push_back(std::move(what));
+  }
+};
+
+/// Audit a full trace (requires SimConfig::trace == TraceLevel::Full):
+///  - every reached node of every sender is a G'-out-neighbor;
+///  - every G-out-neighbor of every sender is reached (reliable edges
+///    always deliver);
+///  - no duplicate reach entries;
+///  - no process transmits the broadcast token before holding it;
+///  - every token reception is justified by a reaching token message;
+///  - SimResult::first_token matches the trace;
+///  - reception kinds are consistent with arrival counts under the rule
+///    (collision notifications only under CR1/CR2; a non-sender message
+///    reception requires that message to have arrived).
+[[nodiscard]] AuditReport audit_execution(const DualGraph& net,
+                                          const SimResult& result,
+                                          CollisionRule rule);
+
+}  // namespace dualrad::audit

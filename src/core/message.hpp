@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+/// \file message.hpp
+/// The message type exchanged by processes.
+///
+/// The broadcast problem treats the payload as a black box (Section 3): the
+/// only distinguished property is whether a message carries the broadcast
+/// token. Algorithms may additionally attach a small amount of structured
+/// content (a round tag, as in the footnote of Section 5, plus free bits);
+/// the simulator and the lower-bound constructions compare messages by value.
+
+namespace dualrad {
+
+struct Message {
+  /// True iff this message carries the broadcast payload ("the message" of
+  /// the broadcast problem). Receiving any message with token=true makes the
+  /// receiver covered.
+  bool token = false;
+
+  /// Process id of the sender. Part of the content (processes know their own
+  /// ids and may include them in messages).
+  ProcessId origin = kInvalidProcess;
+
+  /// Round label, as in the Section 5 footnote: the source labels messages
+  /// with its local round counter so that all awakened nodes share a global
+  /// round counter even under asynchronous start.
+  Round round_tag = 0;
+
+  /// Algorithm-specific free content.
+  std::uint64_t payload = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace dualrad

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/message.hpp"
+#include "core/reception.hpp"
+#include "core/types.hpp"
+
+/// \file process.hpp
+/// The process automaton interface (Section 2.1).
+///
+/// An algorithm is a collection of n processes, each a deterministic or
+/// probabilistic automaton with a unique id. The adversary maps processes to
+/// graph nodes; processes never learn which node they occupy.
+///
+/// Lifecycle, per execution:
+///   1. `on_activate(round, initial)` - exactly once, when the process wakes.
+///      Under synchronous start every process is activated before round 1
+///      (round = 0, initial = nullopt except for the source, which gets the
+///      broadcast token from the environment). Under asynchronous start a
+///      non-source process is activated by its first received message
+///      (round = that round, initial = the message); activation consumes that
+///      round's reception.
+///   2. Per round r while awake: `next_action(r)` is queried, then after
+///      delivery `on_receive(r, reception)` advances the state.
+///
+/// Purity contract: `next_action(r)` must be idempotent - calling it any
+/// number of times between state transitions returns the same Action. This is
+/// what makes executions replayable and lets the lower-bound constructions
+/// (Theorem 12) peek at "would this process send next round?" without
+/// perturbing it. Randomized processes satisfy the contract by drawing
+/// per-round coins from a counter-based RNG (core/rng.hpp) keyed on the
+/// round number.
+namespace dualrad {
+
+/// What a process does at the start of a round.
+struct Action {
+  bool send = false;
+  Message message{};  ///< meaningful only when send == true
+
+  [[nodiscard]] static Action silent() { return {}; }
+  [[nodiscard]] static Action transmit(const Message& m) {
+    return Action{true, m};
+  }
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+
+  /// Called exactly once when the process wakes up (see file comment).
+  virtual void on_activate(Round round, const std::optional<Message>& initial) = 0;
+
+  /// The process's decision for round `round`. Must be idempotent.
+  [[nodiscard]] virtual Action next_action(Round round) const = 0;
+
+  /// State transition on the reception at the end of round `round`.
+  virtual void on_receive(Round round, const Reception& reception) = 0;
+
+  /// Deep copy (same id, same state). Required for execution branching in
+  /// the lower-bound harnesses.
+  [[nodiscard]] virtual std::unique_ptr<Process> clone() const = 0;
+
+ protected:
+  explicit Process(ProcessId id) : id_(id) {
+    DUALRAD_REQUIRE(id >= 0, "process id must be non-negative");
+  }
+  /// Copyable by derived classes only (for implementing clone()).
+  Process(const Process&) = default;
+
+ private:
+  ProcessId id_;
+};
+
+/// Creates the process with identifier `id` out of `n`, with randomness key
+/// `seed` (ignored by deterministic algorithms). Factories must be pure:
+/// identical arguments produce identically-behaving processes.
+using ProcessFactory = std::function<std::unique_ptr<Process>(
+    ProcessId id, NodeId n, std::uint64_t seed)>;
+
+}  // namespace dualrad

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <optional>
+
+#include "core/message.hpp"
+#include "core/types.hpp"
+
+/// \file reception.hpp
+/// What a process receives at the end of a round: silence (bottom), collision
+/// notification (top, only under CR1/CR2), or a single message.
+
+namespace dualrad {
+
+enum class ReceptionKind : std::uint8_t {
+  Silence,    ///< bottom: no message reached the process (or CR3/CR4 masking)
+  Collision,  ///< top: collision notification (CR1, CR2 only)
+  Message,    ///< exactly one message was delivered
+};
+
+struct Reception {
+  ReceptionKind kind = ReceptionKind::Silence;
+  std::optional<Message> message{};  ///< engaged iff kind == Message
+
+  [[nodiscard]] static Reception silence() { return {}; }
+  [[nodiscard]] static Reception collision() {
+    return Reception{ReceptionKind::Collision, std::nullopt};
+  }
+  [[nodiscard]] static Reception of(const Message& m) {
+    return Reception{ReceptionKind::Message, m};
+  }
+
+  [[nodiscard]] bool is_silence() const {
+    return kind == ReceptionKind::Silence;
+  }
+  [[nodiscard]] bool is_collision() const {
+    return kind == ReceptionKind::Collision;
+  }
+  [[nodiscard]] bool is_message() const {
+    return kind == ReceptionKind::Message;
+  }
+  /// True iff a message carrying the broadcast token was delivered.
+  [[nodiscard]] bool has_token() const {
+    return is_message() && message->token;
+  }
+
+  friend bool operator==(const Reception&, const Reception&) = default;
+};
+
+}  // namespace dualrad

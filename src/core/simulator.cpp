@@ -1,0 +1,221 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace dualrad {
+
+Simulator::Simulator(const DualGraph& net, ProcessFactory factory,
+                     Adversary& adversary, SimConfig config)
+    : net_(net),
+      factory_(std::move(factory)),
+      adversary_(adversary),
+      config_(config) {
+  DUALRAD_REQUIRE(config_.max_rounds >= 1, "max_rounds must be positive");
+  DUALRAD_REQUIRE(static_cast<bool>(factory_), "process factory must be set");
+}
+
+SimResult run_broadcast(const DualGraph& net, const ProcessFactory& factory,
+                        Adversary& adversary, const SimConfig& config) {
+  Simulator sim(net, factory, adversary, config);
+  return sim.run();
+}
+
+SimResult Simulator::run() {
+  const NodeId n = net_.node_count();
+  const auto un = static_cast<std::size_t>(n);
+
+  adversary_.on_execution_start(net_);
+
+  SimResult result;
+  result.process_of_node = adversary_.assign_processes(net_);
+  DUALRAD_CHECK(result.process_of_node.size() == un,
+                "proc mapping has wrong size");
+  {
+    std::vector<bool> seen(un, false);
+    for (ProcessId p : result.process_of_node) {
+      DUALRAD_CHECK(p >= 0 && p < n && !seen[static_cast<std::size_t>(p)],
+                    "proc mapping must be a permutation");
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+
+  // Instantiate processes, indexed by node for the rest of the run.
+  std::vector<std::unique_ptr<Process>> proc_at(un);
+  for (NodeId v = 0; v < n; ++v) {
+    const ProcessId pid = result.process_of_node[static_cast<std::size_t>(v)];
+    proc_at[static_cast<std::size_t>(v)] =
+        factory_(pid, n, mix_seed(config_.seed, static_cast<std::uint64_t>(pid)));
+    DUALRAD_CHECK(proc_at[static_cast<std::size_t>(v)] != nullptr,
+                  "factory returned null process");
+    DUALRAD_CHECK(proc_at[static_cast<std::size_t>(v)]->id() == pid,
+                  "factory produced process with wrong id");
+  }
+
+  std::vector<bool> awake(un, false);
+  std::vector<bool> covered(un, false);
+  result.first_token.assign(un, kNever);
+
+  // Environment input: the broadcast message arrives at the source process
+  // prior to round 1 (Section 3).
+  const NodeId src = net_.source();
+  const Message env_msg{/*token=*/true, /*origin=*/kInvalidProcess,
+                        /*round_tag=*/0, /*payload=*/0};
+  covered[static_cast<std::size_t>(src)] = true;
+  result.first_token[static_cast<std::size_t>(src)] = 0;
+  proc_at[static_cast<std::size_t>(src)]->on_activate(0, env_msg);
+  awake[static_cast<std::size_t>(src)] = true;
+  if (config_.start == StartRule::Synchronous) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == src) continue;
+      proc_at[static_cast<std::size_t>(v)]->on_activate(0, std::nullopt);
+      awake[static_cast<std::size_t>(v)] = true;
+    }
+  }
+
+  result.trace.level = config_.trace;
+
+  // Reusable per-round buffers.
+  std::vector<NodeId> senders;
+  std::vector<Message> sent_msg(un);
+  std::vector<bool> is_sender(un, false);
+  std::vector<std::vector<Message>> arrivals(un);
+  std::vector<Reception> receptions(un);
+
+  NodeId covered_count = 1;
+
+  for (Round round = 1; round <= config_.max_rounds; ++round) {
+    result.rounds_executed = round;
+    senders.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      is_sender[uv] = false;
+      arrivals[uv].clear();
+      if (!awake[uv]) continue;
+      const Action action = proc_at[uv]->next_action(round);
+      if (!action.send) continue;
+      DUALRAD_CHECK(!action.message.token || covered[uv],
+                    "process sent the broadcast token without holding it");
+      is_sender[uv] = true;
+      sent_msg[uv] = action.message;
+      senders.push_back(v);
+    }
+    result.total_sends += senders.size();
+
+    // Adversary chooses which unreliable links fire.
+    AdversaryView view{&net_, &result.process_of_node, &covered, round};
+    std::vector<ReachChoice> reach =
+        adversary_.choose_unreliable_reach(view, senders);
+    DUALRAD_CHECK(reach.size() == senders.size(),
+                  "adversary returned wrong number of reach choices");
+
+    RoundRecord record;
+    const bool full_trace = config_.trace == TraceLevel::Full;
+    if (full_trace) record.round = round;
+
+    // Message propagation: sender itself + G out-neighbors + chosen extras.
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      const NodeId u = senders[i];
+      const auto uu = static_cast<std::size_t>(u);
+      const Message& m = sent_msg[uu];
+      arrivals[uu].push_back(m);
+      SenderRecord srec;
+      if (full_trace) {
+        srec.node = u;
+        srec.message = m;
+      }
+      for (NodeId v : net_.g().out_neighbors(u)) {
+        arrivals[static_cast<std::size_t>(v)].push_back(m);
+        if (full_trace) srec.reached.push_back(v);
+      }
+      for (NodeId v : reach[i].extra) {
+        DUALRAD_CHECK(net_.g_prime().has_edge(u, v) && !net_.g().has_edge(u, v),
+                      "adversary chose a non-G'-only edge");
+        arrivals[static_cast<std::size_t>(v)].push_back(m);
+        if (full_trace) srec.reached.push_back(v);
+      }
+      if (full_trace) record.senders.push_back(std::move(srec));
+    }
+
+    // Receptions under the configured collision rule.
+    std::uint32_t collision_events = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      const auto& arr = arrivals[uv];
+      if (arr.size() >= 2) ++collision_events;
+      Reception rec = Reception::silence();
+      switch (config_.rule) {
+        case CollisionRule::CR1:
+          if (arr.size() == 1) {
+            rec = Reception::of(arr.front());
+          } else if (arr.size() >= 2) {
+            rec = Reception::collision();
+          }
+          break;
+        case CollisionRule::CR2:
+        case CollisionRule::CR3:
+        case CollisionRule::CR4:
+          if (is_sender[uv]) {
+            rec = Reception::of(sent_msg[uv]);
+          } else if (arr.size() == 1) {
+            rec = Reception::of(arr.front());
+          } else if (arr.size() >= 2) {
+            if (config_.rule == CollisionRule::CR2) {
+              rec = Reception::collision();
+            } else if (config_.rule == CollisionRule::CR3) {
+              rec = Reception::silence();
+            } else {
+              rec = adversary_.resolve_cr4(view, v, arr);
+              DUALRAD_CHECK(!rec.is_collision(),
+                            "CR4 resolution cannot be collision notification");
+              DUALRAD_CHECK(!rec.is_message() ||
+                                std::find(arr.begin(), arr.end(),
+                                          *rec.message) != arr.end(),
+                            "CR4 resolution must pick an arriving message");
+            }
+          }
+          break;
+      }
+      receptions[uv] = rec;
+    }
+    result.total_collision_events += collision_events;
+
+    // Deliver; wake sleeping processes on message reception (async start).
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      const Reception& rec = receptions[uv];
+      if (awake[uv]) {
+        proc_at[uv]->on_receive(round, rec);
+      } else if (rec.is_message()) {
+        proc_at[uv]->on_activate(round, rec.message);
+        awake[uv] = true;
+      }
+      if (rec.has_token() && !covered[uv]) {
+        covered[uv] = true;
+        result.first_token[uv] = round;
+        ++covered_count;
+      }
+    }
+
+    if (config_.trace != TraceLevel::None) {
+      result.trace.senders_per_round.push_back(
+          static_cast<std::uint32_t>(senders.size()));
+      result.trace.collisions_per_round.push_back(collision_events);
+    }
+    if (full_trace) {
+      record.receptions.assign(receptions.begin(), receptions.end());
+      result.trace.rounds.push_back(std::move(record));
+    }
+
+    if (covered_count == n && !result.completed) {
+      result.completed = true;
+      result.completion_round = round;
+      if (config_.stop_on_completion) break;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace dualrad

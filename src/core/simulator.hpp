@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/process.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "graph/dual_graph.hpp"
+
+/// \file simulator.hpp
+/// The synchronous-round execution engine for the dual graph model
+/// (Section 2.1).
+///
+/// Per round: awake processes choose actions; each sender's message reaches
+/// all of its G-out-neighbors, an adversary-chosen subset of its G'-only
+/// out-neighbors, and the sender itself; receptions are computed under the
+/// configured collision rule (CR1-CR4); processes transition. Under
+/// asynchronous start, a process is activated by its first received message.
+///
+/// The broadcast message arrives at the source process from the environment
+/// before round 1 (Section 3).
+
+namespace dualrad {
+
+struct SimConfig {
+  CollisionRule rule = CollisionRule::CR4;
+  StartRule start = StartRule::Asynchronous;
+  Round max_rounds = 1'000'000;
+  /// Master seed; process i receives mix_seed(seed, i).
+  std::uint64_t seed = 1;
+  TraceLevel trace = TraceLevel::None;
+  /// Stop as soon as every process holds the broadcast token. When false the
+  /// execution runs to max_rounds (useful for termination experiments).
+  bool stop_on_completion = true;
+};
+
+struct SimResult {
+  /// True iff every process received the broadcast token.
+  bool completed = false;
+  /// First round at whose end all processes were covered (0 if n == 1).
+  Round completion_round = kNever;
+  Round rounds_executed = 0;
+  /// first_token[node]: round at whose end the process at `node` first held
+  /// the token (0 for the source), kNever if it never did.
+  std::vector<Round> first_token{};
+  /// proc mapping used: process_of_node[node] = process id.
+  std::vector<ProcessId> process_of_node{};
+  std::uint64_t total_sends = 0;
+  /// Number of (node, round) pairs at which >= 2 messages reached the node.
+  std::uint64_t total_collision_events = 0;
+  Trace trace{};
+};
+
+class Simulator {
+ public:
+  Simulator(const DualGraph& net, ProcessFactory factory, Adversary& adversary,
+            SimConfig config);
+
+  /// Run a complete execution and return the result.
+  [[nodiscard]] SimResult run();
+
+ private:
+  struct NodeState;
+  void deliver_round(Round round, SimResult& result);
+
+  const DualGraph& net_;
+  ProcessFactory factory_;
+  Adversary& adversary_;
+  SimConfig config_;
+};
+
+/// Convenience wrapper: build a simulator and run one execution.
+[[nodiscard]] SimResult run_broadcast(const DualGraph& net,
+                                      const ProcessFactory& factory,
+                                      Adversary& adversary,
+                                      const SimConfig& config);
+
+}  // namespace dualrad

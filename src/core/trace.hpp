@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/reception.hpp"
+#include "core/types.hpp"
+
+/// \file trace.hpp
+/// Execution traces. `TraceLevel::Full` records, per round, the senders, each
+/// sender's realized reach (reliable + adversary-chosen unreliable), and the
+/// reception of every node — enough to replay and audit an execution.
+
+namespace dualrad {
+
+enum class TraceLevel : std::uint8_t { None, Counts, Full };
+
+struct SenderRecord {
+  NodeId node = kInvalidNode;
+  Message message{};
+  /// Nodes this message reached (excluding the sender itself, which is always
+  /// reached), reliable and unreliable combined.
+  std::vector<NodeId> reached{};
+};
+
+struct RoundRecord {
+  Round round = 0;
+  std::vector<SenderRecord> senders{};
+  /// reception[node] — what the process at each node received. For sleeping
+  /// processes (async start, not yet activated) this is what they *would*
+  /// have received; a Message reception is what activated them.
+  std::vector<Reception> receptions{};
+};
+
+struct Trace {
+  TraceLevel level = TraceLevel::None;
+  std::vector<RoundRecord> rounds{};
+
+  /// Round-indexed counts (filled at Counts and Full levels).
+  std::vector<std::uint32_t> senders_per_round{};
+  std::vector<std::uint32_t> collisions_per_round{};
+};
+
+}  // namespace dualrad

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+/// \file types.hpp
+/// Fundamental identifiers and enumerations for the dual graph radio network
+/// model of Kuhn, Lynch, Newport, Oshman, Richa: "Broadcasting in Unreliable
+/// Radio Networks" (PODC 2010 / MIT-CSAIL-TR-2010-029).
+
+namespace dualrad {
+
+/// Index of a graph node (vertex of the dual graph (G, G')).
+using NodeId = std::int32_t;
+
+/// Identifier of a process (automaton). The paper draws ids from a totally
+/// ordered set I with |I| = n; we use {0, 1, ..., n-1}. The *adversary*
+/// chooses the bijection between processes and nodes.
+using ProcessId = std::int32_t;
+
+/// Round number. Rounds are numbered 1, 2, ... during an execution; 0 is
+/// "before the first round" (used e.g. for the source's activation time).
+using Round = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ProcessId kInvalidProcess = -1;
+inline constexpr Round kNever = -1;
+
+/// Collision rules CR1..CR4 from Section 2.1 of the paper, in order of
+/// decreasing strength (from the algorithm's point of view).
+///
+/// - CR1: if two or more messages reach p (including its own, if it sends),
+///   p receives collision notification (top).
+/// - CR2: a sender always receives its own message; a non-sender reached by
+///   two or more messages receives collision notification.
+/// - CR3: a sender always receives its own message; a non-sender reached by
+///   two or more messages hears silence (bottom).
+/// - CR4: a sender always receives its own message; a non-sender reached by
+///   two or more messages receives either silence or one of the messages,
+///   at the adversary's discretion.
+enum class CollisionRule : std::uint8_t { CR1 = 1, CR2 = 2, CR3 = 3, CR4 = 4 };
+
+/// Start rules from Section 2.1.
+///
+/// - Synchronous: every process is awake from round 1.
+/// - Asynchronous: a process is activated the first time it receives a
+///   message (from the environment, for the source, or from another process).
+enum class StartRule : std::uint8_t { Synchronous, Asynchronous };
+
+[[nodiscard]] std::string to_string(CollisionRule rule);
+[[nodiscard]] std::string to_string(StartRule rule);
+
+/// Internal invariant check that throws std::logic_error on failure. Used for
+/// conditions that indicate a bug in this library rather than bad user input.
+#define DUALRAD_CHECK(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      throw std::logic_error(std::string("dualrad invariant: ") +   \
+                             (msg) + " [" #cond "]");                \
+    }                                                                \
+  } while (false)
+
+/// Precondition check that throws std::invalid_argument on failure. Used for
+/// validating user-supplied arguments at public API boundaries.
+#define DUALRAD_REQUIRE(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      throw std::invalid_argument(std::string("dualrad precondition: ") \
+                                  + (msg) + " [" #cond "]");             \
+    }                                                                    \
+  } while (false)
+
+inline std::string to_string(CollisionRule rule) {
+  switch (rule) {
+    case CollisionRule::CR1: return "CR1";
+    case CollisionRule::CR2: return "CR2";
+    case CollisionRule::CR3: return "CR3";
+    case CollisionRule::CR4: return "CR4";
+  }
+  return "CR?";
+}
+
+inline std::string to_string(StartRule rule) {
+  return rule == StartRule::Synchronous ? "sync-start" : "async-start";
+}
+
+}  // namespace dualrad

@@ -1,0 +1,71 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dualrad::graphalg {
+
+std::vector<Round> bfs_distances(const Graph& g, NodeId source) {
+  DUALRAD_REQUIRE(source >= 0 && source < g.node_count(),
+                  "BFS source out of range");
+  std::vector<Round> dist(static_cast<std::size_t>(g.node_count()), kNever);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.out_neighbors(u)) {
+      auto& dv = dist[static_cast<std::size_t>(v)];
+      if (dv == kNever) {
+        dv = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool all_reachable(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](Round d) { return d == kNever; });
+}
+
+std::vector<NodeId> reachable_set(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] != kNever) out.push_back(v);
+  }
+  return out;
+}
+
+Round eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  Round ecc = 0;
+  for (Round d : dist) {
+    if (d == kNever) return kNever;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Round diameter(const Graph& g) {
+  Round diam = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const Round ecc = eccentricity(g, u);
+    if (ecc == kNever) return kNever;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+bool weakly_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  Graph closure(g.node_count());
+  for (const auto& [u, v] : g.edges()) closure.add_undirected_edge(u, v);
+  return all_reachable(closure, 0);
+}
+
+}  // namespace dualrad::graphalg

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file algorithms.hpp
+/// Graph algorithms used throughout: BFS distances, reachability, diameter,
+/// and the k-broadcastability distance bound of Section 3.
+
+namespace dualrad::graphalg {
+
+/// BFS distances from `source` along directed edges. Unreachable nodes get
+/// dualrad::kNever (-1).
+[[nodiscard]] std::vector<Round> bfs_distances(const Graph& g, NodeId source);
+
+/// True iff every node is reachable from `source`.
+[[nodiscard]] bool all_reachable(const Graph& g, NodeId source);
+
+/// Nodes reachable from `source` (including `source`).
+[[nodiscard]] std::vector<NodeId> reachable_set(const Graph& g, NodeId source);
+
+/// Eccentricity of `source`: max finite BFS distance; kNever if some node is
+/// unreachable.
+[[nodiscard]] Round eccentricity(const Graph& g, NodeId source);
+
+/// Directed diameter: max over all ordered pairs of the BFS distance;
+/// kNever if the graph is not strongly connected.
+[[nodiscard]] Round diameter(const Graph& g);
+
+/// True iff the undirected closure of g is connected.
+[[nodiscard]] bool weakly_connected(const Graph& g);
+
+}  // namespace dualrad::graphalg

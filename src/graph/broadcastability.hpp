@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/dual_graph.hpp"
+
+/// \file broadcastability.hpp
+/// k-broadcastability (Section 3).
+///
+/// A network (G, G') is k-broadcastable if some deterministic algorithm and
+/// proc mapping deliver the message to everyone within k rounds under CR1
+/// and synchronous start, *for every* adversary. Scheduling exactly one
+/// sender per round sidesteps the adversary entirely: with a single sender
+/// no node can ever receive two messages, so no collisions occur and the
+/// message propagates along reliable edges regardless of which unreliable
+/// links fire. The optimal single-sender schedule ("telephone broadcast" on
+/// G) is NP-hard in general; this module provides:
+///   - the trivial lower bound: eccentricity of the source in G
+///     (any k-broadcastable network has all G-distances <= k, Section 3);
+///   - a greedy oracle schedule (max-new-coverage) whose length upper-bounds
+///     the network's broadcastability;
+///   - an exact minimal schedule by IDDFS for small networks (tests).
+///
+/// The bridge network of Theorem 2 is the showcase: 2-broadcastable (source
+/// then bridge), yet Omega(n) for any fixed deterministic algorithm.
+
+namespace dualrad::broadcastability {
+
+struct OracleSchedule {
+  /// senders[r] transmits in round r+1, alone. Empty = nothing to do (n=1).
+  std::vector<NodeId> senders{};
+  [[nodiscard]] Round rounds() const {
+    return static_cast<Round>(senders.size());
+  }
+};
+
+/// Lower bound on k for k-broadcastability: max BFS distance from the
+/// source in G.
+[[nodiscard]] Round broadcastability_lower_bound(const DualGraph& net);
+
+/// Greedy oracle schedule: each round the covered node covering the most
+/// new nodes (via G out-edges) transmits. Always valid; length >=
+/// optimal >= broadcastability_lower_bound.
+[[nodiscard]] OracleSchedule greedy_oracle_schedule(const DualGraph& net);
+
+/// Exact minimum single-sender schedule via iterative-deepening search.
+/// Exponential; intended for n <= ~12 (tests and demos).
+[[nodiscard]] OracleSchedule exact_oracle_schedule(const DualGraph& net,
+                                                   Round max_rounds = 12);
+
+/// Verify that executing `schedule` covers everyone: replays coverage along
+/// reliable edges, requiring every scheduled sender to be covered when it
+/// transmits. Returns the number of covered nodes at the end.
+[[nodiscard]] NodeId coverage_after(const DualGraph& net,
+                                    const OracleSchedule& schedule);
+
+}  // namespace dualrad::broadcastability

@@ -1,0 +1,154 @@
+#include "graph/dual_builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dualrad::duals {
+namespace {
+
+bool is_power_of_two(NodeId x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+BridgeNetworkLayout bridge_layout(NodeId n) {
+  DUALRAD_REQUIRE(n >= 3, "bridge network needs n >= 3");
+  BridgeNetworkLayout layout;
+  layout.source = 0;
+  layout.bridge = 1;
+  layout.receiver = n - 1;
+  layout.clique_size = n - 1;
+  return layout;
+}
+
+DualGraph bridge_network(NodeId n) {
+  const BridgeNetworkLayout layout = bridge_layout(n);
+  Graph g(n);
+  for (NodeId u = 0; u < layout.clique_size; ++u) {
+    for (NodeId v = u + 1; v < layout.clique_size; ++v) {
+      g.add_undirected_edge(u, v);
+    }
+  }
+  g.add_undirected_edge(layout.bridge, layout.receiver);
+  Graph gp = gen::clique(n);
+  return DualGraph(std::move(g), std::move(gp), layout.source);
+}
+
+std::vector<NodeId> theorem12_layers(NodeId n) {
+  DUALRAD_REQUIRE(n >= 5 && is_power_of_two(n - 1),
+                  "theorem12 network needs n-1 a power of two, n-1 >= 4");
+  std::vector<NodeId> layer(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 1; v < n; ++v) layer[static_cast<std::size_t>(v)] = (v + 1) / 2;
+  return layer;
+}
+
+DualGraph theorem12_network(NodeId n) {
+  const auto layer = theorem12_layers(n);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const NodeId lu = layer[static_cast<std::size_t>(u)];
+      const NodeId lv = layer[static_cast<std::size_t>(v)];
+      if (lu == lv || lu + 1 == lv || lv + 1 == lu) g.add_undirected_edge(u, v);
+    }
+  }
+  Graph gp = gen::clique(n);
+  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+}
+
+DualGraph layered_complete_gprime(NodeId num_layers, NodeId width) {
+  DUALRAD_REQUIRE(num_layers >= 1 && width >= 1, "bad layered params");
+  std::vector<NodeId> sizes(static_cast<std::size_t>(num_layers), width);
+  sizes[0] = 1;  // single source layer
+  Graph g = gen::complete_layered(sizes);
+  Graph gp = gen::clique(g.node_count());
+  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+}
+
+DualGraph gray_zone(const GrayZoneParams& params) {
+  DUALRAD_REQUIRE(params.n >= 2, "gray zone needs n >= 2");
+  DUALRAD_REQUIRE(params.r_reliable > 0 && params.r_gray >= params.r_reliable,
+                  "need 0 < r_reliable <= r_gray");
+  StreamRng rng(mix_seed(params.seed, 0x6772617A));
+  const auto n = static_cast<std::size_t>(params.n);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const auto dist2 = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b], dy = y[a] - y[b];
+    return dx * dx + dy * dy;
+  };
+  Graph g(params.n);
+  Graph gp(params.n);
+  const double rr2 = params.r_reliable * params.r_reliable;
+  const double rg2 = params.r_gray * params.r_gray;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double d2 = dist2(a, b);
+      if (d2 <= rr2) {
+        g.add_undirected_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+        gp.add_undirected_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      } else if (d2 <= rg2) {
+        gp.add_undirected_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+      }
+    }
+  }
+  // Wire stranded nodes into the source component along nearest-neighbor
+  // links so G satisfies the model's reachability assumption.
+  for (;;) {
+    const auto d = graphalg::bfs_distances(g, 0);
+    std::size_t best_u = n, best_v = n;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (d[u] != kNever) continue;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (d[v] == kNever) continue;
+        if (const double d2 = dist2(u, v); d2 < best) {
+          best = d2;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    if (best_u == n) break;  // all reachable
+    g.add_undirected_edge(static_cast<NodeId>(best_u),
+                          static_cast<NodeId>(best_v));
+    if (!gp.has_edge(static_cast<NodeId>(best_u), static_cast<NodeId>(best_v))) {
+      gp.add_undirected_edge(static_cast<NodeId>(best_u),
+                             static_cast<NodeId>(best_v));
+    }
+  }
+  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+}
+
+DualGraph backbone_plus_unreliable(const BackboneParams& params) {
+  DUALRAD_REQUIRE(params.n >= 2, "backbone needs n >= 2");
+  Graph g = gen::gnp_connected(params.n, params.p_reliable,
+                               mix_seed(params.seed, 0x62616B));
+  Graph gp(params.n);
+  for (const auto& [u, v] : g.edges()) {
+    if (!gp.has_edge(u, v)) gp.add_undirected_edge(u, v);
+  }
+  StreamRng rng(mix_seed(params.seed, 0x756E72));
+  for (NodeId u = 0; u < params.n; ++u) {
+    for (NodeId v = u + 1; v < params.n; ++v) {
+      if (!gp.has_edge(u, v) && rng.bernoulli(params.p_unreliable)) {
+        gp.add_undirected_edge(u, v);
+      }
+    }
+  }
+  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+}
+
+DualGraph strip_unreliable(const DualGraph& net) {
+  Graph g = net.g();
+  return make_classical(std::move(g), net.source());
+}
+
+}  // namespace dualrad::duals

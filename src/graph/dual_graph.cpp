@@ -1,0 +1,46 @@
+#include "graph/dual_graph.hpp"
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+
+namespace dualrad {
+
+DualGraph::DualGraph(Graph reliable, Graph full, NodeId source)
+    : reliable_(std::move(reliable)), full_(std::move(full)), source_(source) {
+  DUALRAD_REQUIRE(reliable_.node_count() == full_.node_count(),
+                  "G and G' must share a vertex set");
+  DUALRAD_REQUIRE(reliable_.node_count() >= 2, "the model fixes n >= 2");
+  DUALRAD_REQUIRE(source_ >= 0 && source_ < reliable_.node_count(),
+                  "source out of range");
+  DUALRAD_REQUIRE(reliable_.is_subgraph_of(full_),
+                  "E must be a subset of E'");
+  DUALRAD_REQUIRE(graphalg::all_reachable(reliable_, source_),
+                  "every node must be reachable from the source in G");
+  unreliable_out_.resize(static_cast<std::size_t>(node_count()));
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : full_.out_neighbors(u)) {
+      if (!reliable_.has_edge(u, v)) {
+        unreliable_out_[static_cast<std::size_t>(u)].push_back(v);
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& DualGraph::unreliable_out(NodeId u) const {
+  DUALRAD_REQUIRE(u >= 0 && u < node_count(), "node out of range");
+  return unreliable_out_[static_cast<std::size_t>(u)];
+}
+
+std::size_t DualGraph::unreliable_edge_count() const {
+  return std::accumulate(
+      unreliable_out_.begin(), unreliable_out_.end(), std::size_t{0},
+      [](std::size_t acc, const auto& v) { return acc + v.size(); });
+}
+
+DualGraph make_classical(Graph g, NodeId source) {
+  Graph copy = g;
+  return DualGraph(std::move(copy), std::move(g), source);
+}
+
+}  // namespace dualrad

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <utility>
+
+#include "graph/graph.hpp"
+
+/// \file dual_graph.hpp
+/// The dual graph network (G, G') of Section 2.1.
+///
+/// G = (V, E) holds the *reliable* links: a sender's message always reaches
+/// its G-out-neighbors. G' = (V, E') with E contained in E' holds *all* links;
+/// each round the adversary picks, for each sender, an arbitrary subset of its
+/// G'-only out-neighbors that the message additionally reaches.
+///
+/// The model assumes a distinguished source node from which every node is
+/// reachable in G. The classical (reliable) radio-network model is the
+/// special case G == G'.
+
+namespace dualrad {
+
+class DualGraph {
+ public:
+  /// Build a network from a reliable graph, a full graph, and a source.
+  /// Validates: same vertex set, E subset of E', source in range, and every
+  /// node reachable from the source in G.
+  DualGraph(Graph reliable, Graph full, NodeId source);
+
+  [[nodiscard]] NodeId node_count() const { return reliable_.node_count(); }
+  [[nodiscard]] NodeId source() const { return source_; }
+
+  /// The reliable graph G.
+  [[nodiscard]] const Graph& g() const { return reliable_; }
+  /// The full graph G' (reliable plus unreliable links).
+  [[nodiscard]] const Graph& g_prime() const { return full_; }
+
+  /// True iff both G and G' are symmetric (the paper's "undirected network").
+  [[nodiscard]] bool is_undirected() const {
+    return reliable_.is_undirected() && full_.is_undirected();
+  }
+
+  /// True iff the network has no unreliable links (classical model).
+  [[nodiscard]] bool is_classical() const {
+    return reliable_.edge_count() == full_.edge_count();
+  }
+
+  /// G'-only out-neighbors of u: nodes reachable from u only unreliably.
+  /// Precomputed; cheap to call per round.
+  [[nodiscard]] const std::vector<NodeId>& unreliable_out(NodeId u) const;
+
+  /// Number of unreliable (G'-only) directed edges.
+  [[nodiscard]] std::size_t unreliable_edge_count() const;
+
+ private:
+  Graph reliable_;
+  Graph full_;
+  NodeId source_;
+  std::vector<std::vector<NodeId>> unreliable_out_{};
+};
+
+/// Convenience: a classical network (G == G').
+[[nodiscard]] DualGraph make_classical(Graph g, NodeId source);
+
+}  // namespace dualrad

@@ -1,0 +1,117 @@
+#include "graph/generators.hpp"
+
+#include <numeric>
+
+#include "core/rng.hpp"
+
+namespace dualrad::gen {
+
+Graph clique(NodeId n) {
+  DUALRAD_REQUIRE(n >= 1, "clique needs n >= 1");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_undirected_edge(u, v);
+  }
+  return g;
+}
+
+Graph path(NodeId n) {
+  DUALRAD_REQUIRE(n >= 1, "path needs n >= 1");
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_undirected_edge(u, u + 1);
+  return g;
+}
+
+Graph cycle(NodeId n) {
+  DUALRAD_REQUIRE(n >= 3, "cycle needs n >= 3");
+  Graph g = path(n);
+  g.add_undirected_edge(n - 1, 0);
+  return g;
+}
+
+Graph star(NodeId n) {
+  DUALRAD_REQUIRE(n >= 2, "star needs n >= 2");
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) g.add_undirected_edge(0, u);
+  return g;
+}
+
+std::vector<NodeId> layer_offsets(const std::vector<NodeId>& layer_sizes) {
+  std::vector<NodeId> offsets(layer_sizes.size() + 1, 0);
+  for (std::size_t i = 0; i < layer_sizes.size(); ++i) {
+    DUALRAD_REQUIRE(layer_sizes[i] >= 1, "layer sizes must be positive");
+    offsets[i + 1] = offsets[i] + layer_sizes[i];
+  }
+  return offsets;
+}
+
+Graph complete_layered(const std::vector<NodeId>& layer_sizes) {
+  DUALRAD_REQUIRE(!layer_sizes.empty(), "need at least one layer");
+  const auto off = layer_offsets(layer_sizes);
+  Graph g(off.back());
+  for (std::size_t i = 0; i < layer_sizes.size(); ++i) {
+    // Intra-layer clique.
+    for (NodeId u = off[i]; u < off[i + 1]; ++u) {
+      for (NodeId v = u + 1; v < off[i + 1]; ++v) g.add_undirected_edge(u, v);
+    }
+    // Complete bipartite to the next layer.
+    if (i + 1 < layer_sizes.size()) {
+      for (NodeId u = off[i]; u < off[i + 1]; ++u) {
+        for (NodeId v = off[i + 1]; v < off[i + 2]; ++v) {
+          g.add_undirected_edge(u, v);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph directed_layered(const std::vector<NodeId>& layer_sizes) {
+  DUALRAD_REQUIRE(!layer_sizes.empty(), "need at least one layer");
+  const auto off = layer_offsets(layer_sizes);
+  Graph g(off.back());
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    for (NodeId u = off[i]; u < off[i + 1]; ++u) {
+      for (NodeId v = off[i + 1]; v < off[i + 2]; ++v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  DUALRAD_REQUIRE(n >= 1, "tree needs n >= 1");
+  StreamRng rng(seed);
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) {
+    const auto parent = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(u)));
+    g.add_undirected_edge(parent, u);
+  }
+  return g;
+}
+
+Graph gnp_connected(NodeId n, double p, std::uint64_t seed) {
+  DUALRAD_REQUIRE(p >= 0.0 && p <= 1.0, "p must be a probability");
+  StreamRng rng(mix_seed(seed, 0x6e70));
+  Graph g = random_tree(n, mix_seed(seed, 0x7472));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && rng.bernoulli(p)) g.add_undirected_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph grid(NodeId width, NodeId height) {
+  DUALRAD_REQUIRE(width >= 1 && height >= 1, "grid needs positive dims");
+  Graph g(width * height);
+  const auto at = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_undirected_edge(at(x, y), at(x + 1, y));
+      if (y + 1 < height) g.add_undirected_edge(at(x, y), at(x, y + 1));
+    }
+  }
+  return g;
+}
+
+}  // namespace dualrad::gen

@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace dualrad {
+
+Graph::Graph(NodeId n) {
+  DUALRAD_REQUIRE(n >= 0, "node count must be non-negative");
+  out_.resize(static_cast<std::size_t>(n));
+  in_.resize(static_cast<std::size_t>(n));
+}
+
+void Graph::check_node(NodeId u, const char* what) const {
+  DUALRAD_REQUIRE(u >= 0 && u < node_count(), what);
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u, "edge endpoint out of range");
+  check_node(v, "edge endpoint out of range");
+  DUALRAD_REQUIRE(u != v, "self-loops are not allowed");
+  DUALRAD_REQUIRE(!has_edge(u, v), "duplicate edge");
+  edge_set_.insert(key(u, v));
+  edge_list_.emplace_back(u, v);
+  out_[static_cast<std::size_t>(u)].push_back(v);
+  in_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+void Graph::add_undirected_edge(NodeId u, NodeId v) {
+  if (!has_edge(u, v)) add_edge(u, v);
+  if (!has_edge(v, u)) add_edge(v, u);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= node_count() || v >= node_count()) return false;
+  return edge_set_.contains(key(u, v));
+}
+
+const std::vector<NodeId>& Graph::out_neighbors(NodeId u) const {
+  check_node(u, "node out of range");
+  return out_[static_cast<std::size_t>(u)];
+}
+
+const std::vector<NodeId>& Graph::in_neighbors(NodeId u) const {
+  check_node(u, "node out of range");
+  return in_[static_cast<std::size_t>(u)];
+}
+
+std::size_t Graph::max_in_degree() const {
+  std::size_t best = 0;
+  for (const auto& nbrs : in_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+std::size_t Graph::max_out_degree() const {
+  std::size_t best = 0;
+  for (const auto& nbrs : out_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+bool Graph::is_undirected() const {
+  return std::all_of(edge_list_.begin(), edge_list_.end(),
+                     [&](const auto& e) { return has_edge(e.second, e.first); });
+}
+
+bool Graph::is_subgraph_of(const Graph& other) const {
+  if (node_count() != other.node_count()) return false;
+  return std::all_of(
+      edge_list_.begin(), edge_list_.end(),
+      [&](const auto& e) { return other.has_edge(e.first, e.second); });
+}
+
+}  // namespace dualrad

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file graph.hpp
+/// A simple directed graph with O(1) edge lookup and in/out adjacency lists.
+///
+/// Graphs in the dual graph model (Section 2.1) are directed; a network is
+/// called *undirected* when every edge appears in both directions. This class
+/// therefore stores directed edges and provides helpers for symmetric
+/// insertion and symmetry checking.
+
+namespace dualrad {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Create a graph with nodes {0, ..., n-1} and no edges.
+  explicit Graph(NodeId n);
+
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(out_.size());
+  }
+  [[nodiscard]] std::size_t edge_count() const { return edge_set_.size(); }
+
+  /// Add the directed edge (u, v). Self-loops and duplicates are rejected.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Add both (u, v) and (v, u). Either may already be present.
+  void add_undirected_edge(NodeId u, NodeId v);
+
+  /// True iff the directed edge (u, v) exists.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] const std::vector<NodeId>& out_neighbors(NodeId u) const;
+  [[nodiscard]] const std::vector<NodeId>& in_neighbors(NodeId u) const;
+
+  [[nodiscard]] std::size_t out_degree(NodeId u) const {
+    return out_neighbors(u).size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId u) const {
+    return in_neighbors(u).size();
+  }
+
+  /// Maximum in-degree over all nodes (the Delta of [11]).
+  [[nodiscard]] std::size_t max_in_degree() const;
+  [[nodiscard]] std::size_t max_out_degree() const;
+
+  /// True iff for every edge (u, v), the reverse edge (v, u) exists.
+  [[nodiscard]] bool is_undirected() const;
+
+  /// True iff every edge of this graph is an edge of `other`
+  /// (subgraph on the same vertex set).
+  [[nodiscard]] bool is_subgraph_of(const Graph& other) const;
+
+  /// All directed edges, in insertion order.
+  [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edge_list_;
+  }
+
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.out_.size() == b.out_.size() && a.edge_set_ == b.edge_set_;
+  }
+
+ private:
+  void check_node(NodeId u, const char* what) const;
+  [[nodiscard]] static std::uint64_t key(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
+  std::vector<std::vector<NodeId>> out_{};
+  std::vector<std::vector<NodeId>> in_{};
+  std::unordered_set<std::uint64_t> edge_set_{};
+  std::vector<std::pair<NodeId, NodeId>> edge_list_{};
+};
+
+}  // namespace dualrad

@@ -1,0 +1,255 @@
+#include "interference/interference.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+#include "graph/algorithms.hpp"
+
+namespace dualrad {
+
+InterferenceNetwork::InterferenceNetwork(Graph transmission,
+                                         Graph interference, NodeId source)
+    : gt_(std::move(transmission)),
+      gi_(std::move(interference)),
+      source_(source) {
+  DUALRAD_REQUIRE(gt_.node_count() == gi_.node_count(),
+                  "G_T and G_I must share a vertex set");
+  DUALRAD_REQUIRE(gt_.is_subgraph_of(gi_), "G_T must be a subgraph of G_I");
+  DUALRAD_REQUIRE(source_ >= 0 && source_ < gt_.node_count(),
+                  "source out of range");
+  DUALRAD_REQUIRE(graphalg::all_reachable(gt_, source_),
+                  "every node must be reachable from the source in G_T");
+}
+
+DualGraph InterferenceNetwork::to_dual() const {
+  return DualGraph(gt_, gi_, source_);
+}
+
+InterferenceResult run_interference_broadcast(const InterferenceNetwork& net,
+                                              const ProcessFactory& factory,
+                                              const InterferenceConfig& config) {
+  const NodeId n = net.node_count();
+  const auto un = static_cast<std::size_t>(n);
+
+  InterferenceResult result;
+  result.first_token.assign(un, kNever);
+  result.trace.level = config.trace;
+
+  std::vector<std::unique_ptr<Process>> proc_at(un);
+  for (NodeId v = 0; v < n; ++v) {
+    proc_at[static_cast<std::size_t>(v)] = factory(
+        v, n, mix_seed(config.seed, static_cast<std::uint64_t>(v)));
+  }
+
+  std::vector<bool> awake(un, false);
+  std::vector<bool> covered(un, false);
+
+  const NodeId src = net.source();
+  const Message env_msg{/*token=*/true, /*origin=*/kInvalidProcess,
+                        /*round_tag=*/0, /*payload=*/0};
+  covered[static_cast<std::size_t>(src)] = true;
+  result.first_token[static_cast<std::size_t>(src)] = 0;
+  proc_at[static_cast<std::size_t>(src)]->on_activate(0, env_msg);
+  awake[static_cast<std::size_t>(src)] = true;
+  if (config.start == StartRule::Synchronous) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == src) continue;
+      proc_at[static_cast<std::size_t>(v)]->on_activate(0, std::nullopt);
+      awake[static_cast<std::size_t>(v)] = true;
+    }
+  }
+
+  std::vector<NodeId> senders;
+  std::vector<Message> sent_msg(un);
+  std::vector<bool> is_sender(un, false);
+  // Arrivals: all messages from G_I-senders; receivable: subset over G_T.
+  std::vector<int> arrival_count(un, 0);
+  std::vector<int> receivable_count(un, 0);
+  std::vector<Message> sole_receivable(un);
+  std::vector<Reception> receptions(un);
+
+  NodeId covered_count = 1;
+
+  for (Round round = 1; round <= config.max_rounds; ++round) {
+    result.rounds_executed = round;
+    senders.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      is_sender[uv] = false;
+      arrival_count[uv] = 0;
+      receivable_count[uv] = 0;
+      if (!awake[uv]) continue;
+      const Action action = proc_at[uv]->next_action(round);
+      if (!action.send) continue;
+      DUALRAD_CHECK(!action.message.token || covered[uv],
+                    "process sent the broadcast token without holding it");
+      is_sender[uv] = true;
+      sent_msg[uv] = action.message;
+      senders.push_back(v);
+    }
+    result.total_sends += senders.size();
+
+    for (NodeId u : senders) {
+      const auto uu = static_cast<std::size_t>(u);
+      ++arrival_count[uu];
+      ++receivable_count[uu];
+      sole_receivable[uu] = sent_msg[uu];
+      for (NodeId v : net.gi().out_neighbors(u)) {
+        const auto uv = static_cast<std::size_t>(v);
+        ++arrival_count[uv];
+        if (net.gt().has_edge(u, v)) {
+          ++receivable_count[uv];
+          sole_receivable[uv] = sent_msg[uu];
+        }
+      }
+    }
+
+    std::uint32_t collision_events = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      const int arrivals = arrival_count[uv];
+      if (arrivals >= 2) ++collision_events;
+      Reception rec = Reception::silence();
+      const auto single = [&]() -> Reception {
+        // Exactly one message reached v; deliverable only if it came over a
+        // G_T edge (or is v's own).
+        if (receivable_count[uv] == 1) return Reception::of(sole_receivable[uv]);
+        return Reception::silence();
+      };
+      switch (config.rule) {
+        case CollisionRule::CR1:
+          if (arrivals == 1) {
+            rec = single();
+          } else if (arrivals >= 2) {
+            rec = Reception::collision();
+          }
+          break;
+        case CollisionRule::CR2:
+        case CollisionRule::CR3:
+        case CollisionRule::CR4:
+          if (is_sender[uv]) {
+            rec = Reception::of(sent_msg[uv]);
+          } else if (arrivals == 1) {
+            rec = single();
+          } else if (arrivals >= 2) {
+            // CR2: top; CR3: silence; CR4: canonical silence resolution.
+            rec = config.rule == CollisionRule::CR2 ? Reception::collision()
+                                                    : Reception::silence();
+          }
+          break;
+      }
+      receptions[uv] = rec;
+    }
+
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      const Reception& rec = receptions[uv];
+      if (awake[uv]) {
+        proc_at[uv]->on_receive(round, rec);
+      } else if (rec.is_message()) {
+        proc_at[uv]->on_activate(round, rec.message);
+        awake[uv] = true;
+      }
+      if (rec.has_token() && !covered[uv]) {
+        covered[uv] = true;
+        result.first_token[uv] = round;
+        ++covered_count;
+      }
+    }
+
+    if (config.trace != TraceLevel::None) {
+      result.trace.senders_per_round.push_back(
+          static_cast<std::uint32_t>(senders.size()));
+      result.trace.collisions_per_round.push_back(collision_events);
+    }
+    if (config.trace == TraceLevel::Full) {
+      RoundRecord record;
+      record.round = round;
+      for (NodeId u : senders) {
+        SenderRecord srec;
+        srec.node = u;
+        srec.message = sent_msg[static_cast<std::size_t>(u)];
+        record.senders.push_back(std::move(srec));
+      }
+      record.receptions.assign(receptions.begin(), receptions.end());
+      result.trace.rounds.push_back(std::move(record));
+    }
+
+    if (covered_count == n && !result.completed) {
+      result.completed = true;
+      result.completion_round = round;
+      if (config.stop_on_completion) break;
+    }
+  }
+  return result;
+}
+
+InterferenceSimAdversary::InterferenceSimAdversary(
+    const InterferenceNetwork& net, CollisionRule rule)
+    : inet_(net), rule_(rule) {}
+
+std::vector<ReachChoice> InterferenceSimAdversary::choose_unreliable_reach(
+    const AdversaryView& view, const std::vector<NodeId>& senders) {
+  (void)view;
+  const NodeId n = inet_.node_count();
+  const auto un = static_cast<std::size_t>(n);
+
+  // Recompute the interference-model outcome for this round.
+  std::vector<int> arrival_count(un, 0);
+  std::vector<int> receivable_count(un, 0);
+  std::vector<bool> is_sender(un, false);
+  for (NodeId u : senders) {
+    is_sender[static_cast<std::size_t>(u)] = true;
+    ++arrival_count[static_cast<std::size_t>(u)];
+    ++receivable_count[static_cast<std::size_t>(u)];
+    for (NodeId v : inet_.gi().out_neighbors(u)) {
+      ++arrival_count[static_cast<std::size_t>(v)];
+      if (inet_.gt().has_edge(u, v)) {
+        ++receivable_count[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  // R: nodes that receive an actual message in the interference execution.
+  std::vector<bool> receives(un, false);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    switch (rule_) {
+      case CollisionRule::CR1:
+        receives[uv] = arrival_count[uv] == 1 && receivable_count[uv] == 1;
+        break;
+      case CollisionRule::CR2:
+      case CollisionRule::CR3:
+      case CollisionRule::CR4:
+        // Senders receive their own message; non-senders receive iff exactly
+        // one message reached them and it is receivable (CR4 resolves
+        // collisions to silence by convention here).
+        receives[uv] = is_sender[uv] ||
+                       (arrival_count[uv] == 1 && receivable_count[uv] == 1);
+        break;
+    }
+  }
+  // Condition (1), strengthened: u suffers a real collision, i.e. at least
+  // two messages reach it in the interference model. The appendix states the
+  // condition as "some sender is a G_T-neighbor of u", which misses *pure*
+  // interference collisions (>= 2 G_I-only arrivals, no G_T arrival): under
+  // CR1/CR2 such a node hears collision notification in the interference
+  // model, so the simulating adversary must fire those edges too. The
+  // appendix's own Case II ("at least two messages reach u in the original
+  // graph, and therefore also in the dual graph") assumes exactly this
+  // behavior; firing on arrival_count >= 2 realizes it and is verified
+  // round-by-round by the Lemma1Equivalence tests.
+  std::vector<ReachChoice> out(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    const NodeId v = senders[i];  // condition (3): v sends
+    for (NodeId u : inet_.gi().out_neighbors(v)) {
+      const auto uu = static_cast<std::size_t>(u);
+      if (inet_.gt().has_edge(v, u)) continue;   // only G_I-only edges
+      if (arrival_count[uu] < 2) continue;       // condition (1), see above
+      if (receives[uu]) continue;                // condition (2)
+      out[i].extra.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace dualrad

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "graph/dual_graph.hpp"
+
+/// \file theorem11_network.hpp
+/// The directed sqrt(n)-broadcastable network family behind Theorem 11
+/// (the Omega(n^{3/2}) directed lower bound, adapted from Theorem 4.2 of
+/// [9] = Clementi-Monti-Silvestri).
+///
+/// The family: about sqrt(n) layers of about sqrt(n) nodes each, with a
+/// single source on top. G has complete bipartite reliable links between
+/// consecutive layers (so the network is (num_layers)-broadcastable); G'
+/// additionally contains *all* forward links (from every layer to every
+/// deeper layer), which is what lets an adversary replay the selective-
+/// family lower bound of [9]: frontier layers can always be jammed by
+/// deeper G'-only links. The Omega(n^{3/2}) bound itself is cited, not
+/// re-derived; this module supplies the workload on which the E6 experiment
+/// measures Strong Select against the greedy blocker.
+
+namespace dualrad::lowerbound {
+
+struct Theorem11Layout {
+  NodeId width = 0;
+  NodeId num_layers = 0;  ///< excluding the source layer
+};
+
+/// Layout with width = round(sqrt(n)), as many full layers as fit; the last
+/// layer absorbs the remainder.
+[[nodiscard]] Theorem11Layout theorem11_layout(NodeId n);
+
+/// Build the directed dual network described above with >= n nodes
+/// (exactly n when n-1 is divisible by the chosen width).
+[[nodiscard]] DualGraph theorem11_network(NodeId n);
+
+}  // namespace dualrad::lowerbound

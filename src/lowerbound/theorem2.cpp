@@ -1,0 +1,48 @@
+#include "lowerbound/theorem2.hpp"
+
+#include <algorithm>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/theorem2_adversary.hpp"
+#include "core/simulator.hpp"
+#include "graph/dual_builders.hpp"
+
+namespace dualrad::lowerbound {
+
+Theorem2Result run_theorem2(NodeId n, const ProcessFactory& factory,
+                            Round max_rounds, std::uint64_t seed) {
+  DUALRAD_REQUIRE(n >= 4, "theorem 2 harness needs n >= 4");
+  const DualGraph net = duals::bridge_network(n);
+  const auto layout = duals::bridge_layout(n);
+
+  Theorem2Result result;
+  result.n = n;
+  result.theorem_bound = n - 2;
+
+  bool any_incomplete = false;
+  for (ProcessId i = 1; i <= n - 2; ++i) {
+    Theorem2Adversary rules(layout);
+    FixedAssignmentAdversary adversary(theorem2_assignment(n, i), rules);
+    SimConfig config;
+    config.rule = CollisionRule::CR1;
+    config.start = StartRule::Synchronous;
+    config.max_rounds = max_rounds;
+    config.seed = seed;
+    const SimResult sim = run_broadcast(net, factory, adversary, config);
+    const Round rounds = sim.completed ? sim.completion_round : kNever;
+    result.rounds_by_bridge_id.push_back(rounds);
+    if (rounds == kNever) {
+      any_incomplete = true;
+      result.worst_bridge_id = i;
+    } else if (!any_incomplete && rounds > result.worst_rounds) {
+      result.worst_rounds = rounds;
+      result.worst_bridge_id = i;
+    }
+  }
+  if (any_incomplete) result.worst_rounds = kNever;
+  result.bound_respected =
+      any_incomplete || result.worst_rounds >= result.theorem_bound;
+  return result;
+}
+
+}  // namespace dualrad::lowerbound

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "core/process.hpp"
+#include "core/types.hpp"
+
+/// \file theorem2.hpp
+/// Executor for the Theorem 2 lower bound: on the 2-broadcastable bridge
+/// network, *every* deterministic algorithm has an execution taking more
+/// than n-3 rounds, i.e. at least n-2 rounds.
+///
+/// The harness enumerates the proof's executions alpha_i (bridge process id
+/// i in {1..n-2}, fixed-rule adversary, CR1, synchronous start) and reports
+/// the worst one. The proof guarantees max_i rounds(alpha_i) >= n-2 for
+/// deterministic algorithms; the harness verifies it empirically for any
+/// algorithm it is handed.
+
+namespace dualrad::lowerbound {
+
+struct Theorem2Result {
+  NodeId n = 0;
+  /// Completion round of alpha_i, indexed by bridge id i-1; kNever if the
+  /// execution did not complete within max_rounds.
+  std::vector<Round> rounds_by_bridge_id{};
+  ProcessId worst_bridge_id = kInvalidProcess;
+  /// max_i rounds(alpha_i); kNever if some execution never completed (an
+  /// even stronger witness).
+  Round worst_rounds = 0;
+  /// The theorem's bound: no deterministic algorithm finishes every alpha_i
+  /// within n-3 rounds, so the worst case is >= n-2.
+  Round theorem_bound = 0;
+  bool bound_respected = false;  ///< worst_rounds >= theorem_bound (or never)
+};
+
+[[nodiscard]] Theorem2Result run_theorem2(NodeId n,
+                                          const ProcessFactory& factory,
+                                          Round max_rounds,
+                                          std::uint64_t seed = 1);
+
+}  // namespace dualrad::lowerbound

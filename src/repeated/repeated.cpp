@@ -1,0 +1,127 @@
+#include "repeated/repeated.hpp"
+
+#include <map>
+#include <numeric>
+
+#include "algorithms/scheduled.hpp"
+#include "adversary/basic_adversaries.hpp"
+#include "graph/algorithms.hpp"
+
+namespace dualrad::repeated {
+
+LearnedTopology estimate_reliable_links(const DualGraph& net,
+                                        const std::vector<Trace>& traces,
+                                        std::size_t min_samples) {
+  // For each observed (sender, target) pair over G' edges, count delivery
+  // opportunities (sender transmitted) vs actual deliveries.
+  std::map<std::pair<NodeId, NodeId>, LinkEstimate> links;
+  for (const Trace& trace : traces) {
+    DUALRAD_REQUIRE(trace.level == TraceLevel::Full,
+                    "learning requires full traces");
+    for (const auto& record : trace.rounds) {
+      for (const auto& sender : record.senders) {
+        for (NodeId v : net.g_prime().out_neighbors(sender.node)) {
+          auto& est = links[{sender.node, v}];
+          est.from = sender.node;
+          est.to = v;
+          ++est.sends;
+        }
+        for (NodeId v : sender.reached) {
+          ++links[{sender.node, v}].deliveries;
+        }
+      }
+    }
+  }
+
+  LearnedTopology learned;
+  learned.estimated_reliable = Graph(net.node_count());
+  learned.sound = true;
+  for (auto& [key, est] : links) {
+    learned.estimates.push_back(est);
+    if (est.sends >= min_samples && est.deliveries == est.sends) {
+      learned.estimated_reliable.add_edge(est.from, est.to);
+      if (!net.g().has_edge(est.from, est.to)) learned.sound = false;
+    }
+  }
+  learned.usable =
+      graphalg::all_reachable(learned.estimated_reliable, net.source());
+  return learned;
+}
+
+Round RepeatedReport::naive_total() const {
+  return std::accumulate(naive_rounds.begin(), naive_rounds.end(), Round{0});
+}
+
+Round RepeatedReport::learned_total() const {
+  return std::accumulate(learned_rounds.begin(), learned_rounds.end(),
+                         Round{0});
+}
+
+RepeatedReport run_repeated_broadcast(const DualGraph& net,
+                                      const ProcessFactory& algorithm,
+                                      Adversary& adversary,
+                                      const RepeatedOptions& options) {
+  DUALRAD_REQUIRE(options.broadcasts >= 1, "need at least one broadcast");
+  DUALRAD_REQUIRE(options.training >= 1 &&
+                      options.training <= options.broadcasts,
+                  "training count out of range");
+  RepeatedReport report;
+
+  // Naive strategy: run the oblivious algorithm every time.
+  for (int b = 0; b < options.broadcasts; ++b) {
+    SimConfig config = options.config;
+    config.seed = mix_seed(options.config.seed, 0x6E00 + static_cast<std::uint64_t>(b));
+    const SimResult result = run_broadcast(net, algorithm, adversary, config);
+    report.naive_rounds.push_back(result.completed ? result.completion_round
+                                                   : kNever);
+    report.all_completed = report.all_completed && result.completed;
+  }
+
+  // Learned strategy: training broadcasts with full traces, then TDMA.
+  // The proc mapping must be stable across broadcasts for schedules over
+  // process ids to make sense; pin the identity mapping.
+  std::vector<ProcessId> identity(static_cast<std::size_t>(net.node_count()));
+  std::iota(identity.begin(), identity.end(), 0);
+  std::vector<Trace> traces;
+  for (int b = 0; b < options.training; ++b) {
+    SimConfig config = options.config;
+    config.seed = mix_seed(options.config.seed, 0x6C00 + static_cast<std::uint64_t>(b));
+    config.trace = TraceLevel::Full;
+    FixedAssignmentAdversary pinned(identity, adversary);
+    const SimResult result = run_broadcast(net, algorithm, pinned, config);
+    report.learned_rounds.push_back(result.completed ? result.completion_round
+                                                     : kNever);
+    report.all_completed = report.all_completed && result.completed;
+    traces.push_back(result.trace);
+  }
+
+  report.topology = estimate_reliable_links(net, traces, options.min_samples);
+
+  // Schedule over the learned graph; if the learned graph is unusable
+  // (source cannot reach everyone over presumed-reliable links), keep using
+  // the oblivious algorithm — a deployment would keep training.
+  ProcessFactory follow_up = algorithm;
+  if (report.topology.usable) {
+    const DualGraph learned_net(report.topology.estimated_reliable,
+                                net.g_prime(), net.source());
+    const auto schedule =
+        broadcastability::greedy_oracle_schedule(learned_net);
+    report.tdma_period = schedule.rounds();
+    // Node ids == process ids under the pinned identity mapping.
+    std::vector<ProcessId> slots(schedule.senders.begin(),
+                                 schedule.senders.end());
+    follow_up = make_scheduled_factory(net.node_count(), std::move(slots));
+  }
+  for (int b = options.training; b < options.broadcasts; ++b) {
+    SimConfig config = options.config;
+    config.seed = mix_seed(options.config.seed, 0x6C00 + static_cast<std::uint64_t>(b));
+    FixedAssignmentAdversary pinned(identity, adversary);
+    const SimResult result = run_broadcast(net, follow_up, pinned, config);
+    report.learned_rounds.push_back(result.completed ? result.completion_round
+                                                     : kNever);
+    report.all_completed = report.all_completed && result.completed;
+  }
+  return report;
+}
+
+}  // namespace dualrad::repeated

@@ -1,0 +1,47 @@
+#include "selectors/gf.hpp"
+
+namespace dualrad::gf {
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  if (x % 2 == 0) return x == 2;
+  if (x % 3 == 0) return x == 3;
+  for (std::uint64_t d = 5; d * d <= x; d += 6) {
+    if (x % d == 0 || x % (d + 2) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) {
+  if (x <= 2) return 2;
+  std::uint64_t candidate = x | 1;  // first odd >= x
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+PrimeField::PrimeField(std::uint32_t q) : q_(q) {
+  DUALRAD_REQUIRE(is_prime(q), "field order must be prime");
+}
+
+std::uint32_t PrimeField::eval(const std::vector<std::uint32_t>& coeffs,
+                               std::uint32_t x) const {
+  std::uint32_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = add(mul(acc, x), *it % q_);
+  }
+  return acc;
+}
+
+std::vector<std::uint32_t> base_q_digits(std::uint64_t value, std::uint32_t q,
+                                         std::size_t width) {
+  DUALRAD_REQUIRE(q >= 2, "base must be >= 2");
+  std::vector<std::uint32_t> digits(width, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    digits[i] = static_cast<std::uint32_t>(value % q);
+    value /= q;
+  }
+  DUALRAD_REQUIRE(value == 0, "value does not fit in q^width");
+  return digits;
+}
+
+}  // namespace dualrad::gf

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file gf.hpp
+/// Prime-field arithmetic for the Kautz-Singleton superimposed-code
+/// construction: primality testing, prime search, and Reed-Solomon codeword
+/// evaluation over GF(q) for prime q.
+
+namespace dualrad::gf {
+
+[[nodiscard]] bool is_prime(std::uint64_t x);
+
+/// Smallest prime >= x (x >= 2).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t x);
+
+/// Arithmetic in GF(q), q prime (q < 2^31 so products fit in 64 bits).
+class PrimeField {
+ public:
+  explicit PrimeField(std::uint32_t q);
+
+  [[nodiscard]] std::uint32_t order() const { return q_; }
+  [[nodiscard]] std::uint32_t add(std::uint32_t a, std::uint32_t b) const {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return static_cast<std::uint32_t>(s >= q_ ? s - q_ : s);
+  }
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(a) * b) % q_);
+  }
+
+  /// Evaluate the polynomial with coefficients `coeffs` (coeffs[0] is the
+  /// constant term) at point x, by Horner's rule.
+  [[nodiscard]] std::uint32_t eval(const std::vector<std::uint32_t>& coeffs,
+                                   std::uint32_t x) const;
+
+ private:
+  std::uint32_t q_;
+};
+
+/// The base-q digits of `value`, least significant first, padded to `width`.
+/// Requires value < q^width.
+[[nodiscard]] std::vector<std::uint32_t> base_q_digits(std::uint64_t value,
+                                                       std::uint32_t q,
+                                                       std::size_t width);
+
+}  // namespace dualrad::gf

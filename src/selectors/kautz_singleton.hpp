@@ -1,0 +1,37 @@
+#pragma once
+
+#include "selectors/ssf.hpp"
+
+/// \file kautz_singleton.hpp
+/// The constructive Kautz-Singleton (1964) superimposed-code SSF referenced
+/// in Section 5 ("A Note on Constructive Solutions").
+///
+/// Construction: encode each id in [n] as a Reed-Solomon codeword — the
+/// evaluations of a degree-(m-1) polynomial over GF(q) at all q points — and
+/// emit one set per (position, symbol) pair:
+///     F_{i,a} = { x in [n] : codeword_x[i] == a }.
+///
+/// Two distinct ids agree in at most m-1 positions, so for any z and any
+/// k-1 other ids there are at most (k-1)(m-1) "spoiled" positions; choosing
+/// q > (k-1)(m-1) guarantees a position i where z's symbol differs from all
+/// of them, and F_{i, codeword_z[i]} isolates z. The family is therefore an
+/// (n,k)-SSF of size q^2 = O(k^2 log^2 n) for the optimal choice of m.
+/// Whenever that exceeds n, the round-robin family (size n) is returned
+/// instead, matching the paper's O(min{n, ...}) form.
+
+namespace dualrad {
+
+struct KautzSingletonPlan {
+  std::uint32_t q = 0;      ///< field order (prime)
+  std::uint32_t m = 0;      ///< number of polynomial coefficients
+  std::size_t num_sets = 0; ///< q*q, or n if round-robin fallback is cheaper
+  bool round_robin_fallback = false;
+};
+
+/// The (q, m) choice for given (n, k), minimizing family size q^2.
+[[nodiscard]] KautzSingletonPlan kautz_singleton_plan(NodeId n, NodeId k);
+
+/// Build the (n,k)-SSF. Requires 1 <= k <= n.
+[[nodiscard]] SsfFamily kautz_singleton_ssf(NodeId n, NodeId k);
+
+}  // namespace dualrad

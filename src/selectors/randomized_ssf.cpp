@@ -1,0 +1,35 @@
+#include "selectors/randomized_ssf.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "selectors/round_robin_family.hpp"
+
+namespace dualrad {
+
+SsfFamily randomized_ssf(NodeId n, NodeId k, const RandomizedSsfParams& params) {
+  DUALRAD_REQUIRE(n >= 1 && k >= 1 && k <= n, "need 1 <= k <= n");
+  DUALRAD_REQUIRE(params.factor > 0, "factor must be positive");
+  const double ln_n = std::log(static_cast<double>(n) + 1.0);
+  const auto num_sets = static_cast<std::size_t>(
+      std::ceil(params.factor * static_cast<double>(k) * k * ln_n));
+  if (num_sets >= static_cast<std::size_t>(n)) {
+    // Same min{n, k^2 log n} shape as the existential bound.
+    return round_robin_family(n);
+  }
+  StreamRng rng(mix_seed(params.seed, 0x55f));
+  const double p = 1.0 / static_cast<double>(k);
+  std::vector<std::vector<NodeId>> sets(num_sets);
+  for (auto& set : sets) {
+    for (NodeId x = 0; x < n; ++x) {
+      if (rng.bernoulli(p)) set.push_back(x);
+    }
+  }
+  return SsfFamily(n, std::move(sets));
+}
+
+SsfProvider make_randomized_ssf_provider(const RandomizedSsfParams& params) {
+  return [params](NodeId n, NodeId k) { return randomized_ssf(n, k, params); };
+}
+
+}  // namespace dualrad

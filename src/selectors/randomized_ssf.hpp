@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "selectors/ssf.hpp"
+
+/// \file randomized_ssf.hpp
+/// Randomized SSF matching the existential O(k^2 log n) size bound of
+/// Erdos-Frankl-Furedi [14] (Theorem 7) with high probability.
+///
+/// Each of L = ceil(factor * k^2 * ln(n+1)) sets includes each element
+/// independently with probability 1/k. For a fixed (Z, z) with |Z| <= k the
+/// per-set isolation probability is at least (1/k)(1-1/k)^{k-1} >= 1/(e k),
+/// so the failure probability of the family decays exponentially in
+/// factor; factor >= 4 pushes it below n^{-k+1}-style union bounds for the
+/// instance sizes used here. Verification helpers live in ssf.hpp.
+
+namespace dualrad {
+
+struct RandomizedSsfParams {
+  double factor = 4.0;      ///< multiplier on k^2 ln n
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] SsfFamily randomized_ssf(NodeId n, NodeId k,
+                                       const RandomizedSsfParams& params = {});
+
+/// Provider adapter with a fixed seed/factor.
+[[nodiscard]] SsfProvider make_randomized_ssf_provider(
+    const RandomizedSsfParams& params = {});
+
+}  // namespace dualrad

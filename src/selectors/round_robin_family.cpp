@@ -1,0 +1,18 @@
+#include "selectors/round_robin_family.hpp"
+
+namespace dualrad {
+
+SsfFamily round_robin_family(NodeId n) {
+  DUALRAD_REQUIRE(n >= 1, "round robin needs n >= 1");
+  std::vector<std::vector<NodeId>> sets;
+  sets.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) sets.push_back({i});
+  return SsfFamily(n, std::move(sets));
+}
+
+SsfFamily round_robin_provider(NodeId n, NodeId k) {
+  (void)k;
+  return round_robin_family(n);
+}
+
+}  // namespace dualrad

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "selectors/ssf.hpp"
+
+/// \file round_robin_family.hpp
+/// The round-robin family {{0}, {1}, ..., {n-1}}: the canonical (n,n)-SSF of
+/// size n. Strong Select uses it as its largest family F_{s_max} (Section 5).
+
+namespace dualrad {
+
+[[nodiscard]] SsfFamily round_robin_family(NodeId n);
+
+/// Provider adapter (ignores k; always strongly selective for any k <= n).
+[[nodiscard]] SsfFamily round_robin_provider(NodeId n, NodeId k);
+
+}  // namespace dualrad

@@ -1,0 +1,154 @@
+#include "selectors/ssf.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace dualrad {
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(NodeId n) {
+  return (static_cast<std::size_t>(n) + kWordBits - 1) / kWordBits;
+}
+
+}  // namespace
+
+SsfFamily::SsfFamily(NodeId universe, std::vector<std::vector<NodeId>> sets)
+    : universe_(universe), sets_(std::move(sets)) {
+  DUALRAD_REQUIRE(universe_ >= 1, "SSF universe must be non-empty");
+  bits_.resize(sets_.size());
+  containing_.resize(static_cast<std::size_t>(universe_));
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    auto& set = sets_[i];
+    std::sort(set.begin(), set.end());
+    DUALRAD_REQUIRE(std::adjacent_find(set.begin(), set.end()) == set.end(),
+                    "SSF set contains duplicates");
+    bits_[i].assign(words_for(universe_), 0);
+    for (NodeId x : set) {
+      DUALRAD_REQUIRE(x >= 0 && x < universe_, "SSF element out of range");
+      bits_[i][static_cast<std::size_t>(x) / kWordBits] |=
+          1ULL << (static_cast<std::size_t>(x) % kWordBits);
+      containing_[static_cast<std::size_t>(x)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+const std::vector<NodeId>& SsfFamily::set(std::size_t index) const {
+  DUALRAD_REQUIRE(index < sets_.size(), "SSF set index out of range");
+  return sets_[index];
+}
+
+bool SsfFamily::contains(std::size_t index, NodeId x) const {
+  DUALRAD_REQUIRE(index < sets_.size(), "SSF set index out of range");
+  if (x < 0 || x >= universe_) return false;
+  return (bits_[index][static_cast<std::size_t>(x) / kWordBits] >>
+          (static_cast<std::size_t>(x) % kWordBits)) & 1ULL;
+}
+
+std::size_t SsfFamily::max_set_size() const {
+  std::size_t best = 0;
+  for (const auto& s : sets_) best = std::max(best, s.size());
+  return best;
+}
+
+const std::vector<std::uint32_t>& SsfFamily::sets_containing(NodeId x) const {
+  DUALRAD_REQUIRE(x >= 0 && x < universe_, "element out of range");
+  return containing_[static_cast<std::size_t>(x)];
+}
+
+std::vector<NodeId> unselected_in(const SsfFamily& family,
+                                  const std::vector<NodeId>& z) {
+  std::vector<NodeId> failures;
+  for (NodeId zi : z) {
+    bool isolated = false;
+    for (std::uint32_t fi : family.sets_containing(zi)) {
+      bool clean = true;
+      for (NodeId other : z) {
+        if (other != zi && family.contains(fi, other)) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        isolated = true;
+        break;
+      }
+    }
+    if (!isolated) failures.push_back(zi);
+  }
+  return failures;
+}
+
+namespace {
+
+/// Set-cover search: can we choose <= budget elements (!= z) whose
+/// containing-sets cover all of `remaining` (indices into family sets that
+/// contain z)? If yes, those elements plus z witness a violation.
+bool coverable(const SsfFamily& family, NodeId z,
+               std::vector<std::uint32_t> remaining, NodeId budget,
+               std::vector<NodeId>& chosen) {
+  if (remaining.empty()) return true;
+  if (budget == 0) return false;
+  // Branch on the first uncovered set: some chosen element must lie in it.
+  const std::uint32_t fi = remaining.front();
+  for (NodeId y : family.set(fi)) {
+    if (y == z) continue;
+    if (std::find(chosen.begin(), chosen.end(), y) != chosen.end()) continue;
+    std::vector<std::uint32_t> next;
+    next.reserve(remaining.size());
+    for (std::uint32_t r : remaining) {
+      if (!family.contains(r, y)) next.push_back(r);
+    }
+    chosen.push_back(y);
+    if (coverable(family, z, std::move(next), budget - 1, chosen)) return true;
+    chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_strongly_selective(const SsfFamily& family, NodeId k) {
+  DUALRAD_REQUIRE(k >= 1, "k must be positive");
+  for (NodeId z = 0; z < family.universe(); ++z) {
+    const auto& owning = family.sets_containing(z);
+    if (owning.empty()) return false;  // Z = {z} is never selected
+    // A violation for z is a set of <= k-1 other elements covering all sets
+    // that contain z.
+    std::vector<NodeId> chosen;
+    if (k >= 2 &&
+        coverable(family, z, {owning.begin(), owning.end()},
+                  static_cast<NodeId>(k - 1), chosen)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t sample_violations(const SsfFamily& family, NodeId k,
+                              std::size_t trials, std::uint64_t seed) {
+  StreamRng rng(seed);
+  const NodeId n = family.universe();
+  std::size_t violations = 0;
+  std::vector<NodeId> pool(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto size = static_cast<std::size_t>(
+        1 + rng.below(static_cast<std::uint64_t>(std::min(k, n))));
+    // Partial Fisher-Yates for a uniform size-subset.
+    for (std::size_t i = 0; i < size; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    const std::vector<NodeId> z(pool.begin(),
+                                pool.begin() + static_cast<std::ptrdiff_t>(size));
+    violations += unselected_in(family, z).size();
+  }
+  return violations;
+}
+
+}  // namespace dualrad

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file ssf.hpp
+/// Strongly Selective Families (Definition 6, after [8]).
+///
+/// A family F of subsets of [n] is (n,k)-strongly selective if for every
+/// non-empty Z subset of [n] with |Z| <= k and every z in Z there is a set
+/// F_i in the family with Z intersect F_i = {z}.
+///
+/// Strong Select (Section 5) cycles through SSFs of exponentially increasing
+/// strength; the quality (size) of the families is the sqrt(log n) factor in
+/// its running time. This module provides the family type, exact and sampled
+/// verification, and three providers: round-robin ((n,n)-SSF of size n),
+/// the constructive Kautz-Singleton families of size O(k^2 log^2 n) the paper
+/// points to for a constructive variant, and randomized families matching the
+/// existential O(k^2 log n) bound of Erdos-Frankl-Furedi w.h.p.
+
+namespace dualrad {
+
+/// An ordered family of subsets of {0..n-1} with O(1) membership queries.
+class SsfFamily {
+ public:
+  /// `sets` may be in any order internally but their order is the broadcast
+  /// schedule order; elements must be valid and distinct within a set.
+  SsfFamily(NodeId universe, std::vector<std::vector<NodeId>> sets);
+
+  [[nodiscard]] NodeId universe() const { return universe_; }
+  [[nodiscard]] std::size_t size() const { return sets_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& set(std::size_t index) const;
+  [[nodiscard]] bool contains(std::size_t index, NodeId x) const;
+  [[nodiscard]] std::size_t max_set_size() const;
+
+  /// Indices of the sets containing x, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& sets_containing(NodeId x) const;
+
+ private:
+  NodeId universe_;
+  std::vector<std::vector<NodeId>> sets_;
+  std::vector<std::vector<std::uint64_t>> bits_;  // per set, n-bit membership
+  std::vector<std::vector<std::uint32_t>> containing_;  // per element
+};
+
+/// Exact verification that `family` is (n,k)-strongly selective. Cost is
+/// exponential in k (set-cover search per element); intended for tests and
+/// small instances.
+[[nodiscard]] bool is_strongly_selective(const SsfFamily& family, NodeId k);
+
+/// Check the selection property for one concrete Z: returns the elements of
+/// Z that are NOT isolated by any set (empty result = Z fully selected).
+[[nodiscard]] std::vector<NodeId> unselected_in(const SsfFamily& family,
+                                                const std::vector<NodeId>& z);
+
+/// Monte-Carlo verification: draws `trials` random subsets of size <= k and
+/// checks each; returns the number of failing (Z, z) pairs found.
+[[nodiscard]] std::size_t sample_violations(const SsfFamily& family, NodeId k,
+                                            std::size_t trials,
+                                            std::uint64_t seed);
+
+/// Provider signature used by Strong Select to obtain its families.
+using SsfProvider = std::function<SsfFamily(NodeId n, NodeId k)>;
+
+}  // namespace dualrad

@@ -1,0 +1,71 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dualrad::stats {
+
+std::vector<std::string> candidate_shapes() {
+  return {"n", "n log n", "n log^2 n", "n^1.5", "n^1.5 sqrt(log n)", "n^2"};
+}
+
+double shape_value(const std::string& shape, double n) {
+  DUALRAD_REQUIRE(n >= 2, "shape_value needs n >= 2");
+  const double ln = std::log2(n);
+  if (shape == "n") return n;
+  if (shape == "n log n") return n * ln;
+  if (shape == "n log^2 n") return n * ln * ln;
+  if (shape == "n^1.5") return n * std::sqrt(n);
+  if (shape == "n^1.5 sqrt(log n)") return n * std::sqrt(n * ln);
+  if (shape == "n^2") return n * n;
+  throw std::invalid_argument("unknown shape: " + shape);
+}
+
+ShapeFit fit_shape(const std::string& shape, const std::vector<double>& n,
+                   const std::vector<double>& y) {
+  DUALRAD_REQUIRE(n.size() == y.size() && !n.empty(),
+                  "fit needs matching non-empty samples");
+  ShapeFit fit;
+  fit.shape = shape;
+  double sgy = 0.0, sgg = 0.0, sy = 0.0;
+  double ratio_min = 0.0, ratio_max = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double g = shape_value(shape, n[i]);
+    sgy += g * y[i];
+    sgg += g * g;
+    sy += y[i];
+    const double ratio = y[i] / g;
+    if (first) {
+      ratio_min = ratio_max = ratio;
+      first = false;
+    } else {
+      ratio_min = std::min(ratio_min, ratio);
+      ratio_max = std::max(ratio_max, ratio);
+    }
+  }
+  fit.scale = sgg > 0 ? sgy / sgg : 0.0;
+  const double mean_y = sy / static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double pred = fit.scale * shape_value(shape, n[i]);
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.ratio_spread = ratio_min > 0 ? ratio_max / ratio_min : 0.0;
+  return fit;
+}
+
+std::vector<ShapeFit> fit_all_shapes(const std::vector<double>& n,
+                                     const std::vector<double>& y) {
+  std::vector<ShapeFit> fits;
+  for (const auto& shape : candidate_shapes()) {
+    fits.push_back(fit_shape(shape, n, y));
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const ShapeFit& a, const ShapeFit& b) { return a.r2 > b.r2; });
+  return fits;
+}
+
+}  // namespace dualrad::stats

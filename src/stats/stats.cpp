@@ -1,0 +1,46 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dualrad::stats {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  s.p90 = samples[static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(samples.size()) - 1,
+                       std::floor(0.9 * static_cast<double>(samples.size()))))];
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double x : samples) var += (x - s.mean) * (x - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+Summary summarize_rounds(const std::vector<Round>& samples) {
+  std::vector<double> d;
+  d.reserve(samples.size());
+  for (Round r : samples) d.push_back(static_cast<double>(r));
+  return summarize(std::move(d));
+}
+
+double wilson_half_width(std::size_t successes, std::size_t trials) {
+  if (trials == 0) return 1.0;
+  const double z = 1.96;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  return z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) /
+         (1.0 + z * z / n);
+}
+
+}  // namespace dualrad::stats

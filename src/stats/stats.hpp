@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file stats.hpp
+/// Summary statistics over repeated trials (round counts, probabilities).
+
+namespace dualrad::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+[[nodiscard]] Summary summarize_rounds(const std::vector<Round>& samples);
+
+/// Wilson score interval half-width at ~95% for a Bernoulli estimate.
+[[nodiscard]] double wilson_half_width(std::size_t successes,
+                                       std::size_t trials);
+
+}  // namespace dualrad::stats

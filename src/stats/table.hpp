@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Fixed-width table rendering for bench output (paper-style rows).
+
+namespace dualrad::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Helpers for formatting numbers.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string num(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dualrad::stats

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "adversary/scripted_adversary.hpp"
+#include "adversary/theorem2_adversary.hpp"
+#include "algorithms/harmonic.hpp"
+#include "algorithms/round_robin_bcast.hpp"
+#include "core/simulator.hpp"
+#include "graph/dual_builders.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace dualrad {
+namespace {
+
+using testing::scripted_factory;
+
+AdversaryView make_view(const DualGraph& net,
+                        const std::vector<ProcessId>& mapping,
+                        const std::vector<bool>& covered, Round round) {
+  return AdversaryView{&net, &mapping, &covered, round};
+}
+
+// --------------------------------------------------------------- Bernoulli
+
+TEST(Bernoulli, FiresSubsetOfUnreliableEdges) {
+  const DualGraph net = duals::bridge_network(10);
+  BernoulliAdversary adversary(0.5, 3);
+  adversary.on_execution_start(net);
+  std::vector<ProcessId> mapping(10);
+  std::iota(mapping.begin(), mapping.end(), 0);
+  std::vector<bool> covered(10, false);
+  const auto view = make_view(net, mapping, covered, 1);
+  const std::vector<NodeId> senders = {2, 3};
+  const auto reach = adversary.choose_unreliable_reach(view, senders);
+  ASSERT_EQ(reach.size(), 2u);
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    for (NodeId v : reach[i].extra) {
+      EXPECT_TRUE(net.g_prime().has_edge(senders[i], v));
+      EXPECT_FALSE(net.g().has_edge(senders[i], v));
+    }
+  }
+}
+
+TEST(Bernoulli, IsDeterministicGivenSeed) {
+  const DualGraph net = duals::bridge_network(12);
+  const ProcessFactory factory = make_round_robin_factory(12);
+  SimConfig config;
+  config.max_rounds = 10'000;
+  BernoulliAdversary a1(0.3, 42), a2(0.3, 42);
+  const SimResult r1 = run_broadcast(net, factory, a1, config);
+  const SimResult r2 = run_broadcast(net, factory, a2, config);
+  EXPECT_EQ(r1.completion_round, r2.completion_round);
+  EXPECT_EQ(r1.total_sends, r2.total_sends);
+  EXPECT_EQ(r1.first_token, r2.first_token);
+}
+
+TEST(Bernoulli, ZeroProbabilityEqualsBenign) {
+  const DualGraph net = duals::bridge_network(12);
+  const ProcessFactory factory = make_round_robin_factory(12);
+  SimConfig config;
+  config.max_rounds = 10'000;
+  BernoulliAdversary bern(0.0, 42);
+  BenignAdversary benign;
+  const SimResult r1 = run_broadcast(net, factory, bern, config);
+  const SimResult r2 = run_broadcast(net, factory, benign, config);
+  EXPECT_EQ(r1.completion_round, r2.completion_round);
+  EXPECT_EQ(r1.first_token, r2.first_token);
+}
+
+// ----------------------------------------------------------- GreedyBlocker
+
+TEST(GreedyBlocker, JamsSoloDeliveryToUncoveredNode) {
+  // Path 0-1-2 with unreliable 0-2: when 1 sends alone toward uncovered 2
+  // while 0 also sends, the blocker fires 0->2 to collide... construct:
+  // senders {0, 1}; node 2 reliable arrivals: from 1 only (=1); 0 has
+  // unreliable edge to 2 => jam.
+  Graph g = gen::path(3);
+  Graph gp = gen::path(3);
+  gp.add_undirected_edge(0, 2);
+  const DualGraph net(std::move(g), std::move(gp), 0);
+  GreedyBlockerAdversary adversary;
+  std::vector<ProcessId> mapping = {0, 1, 2};
+  std::vector<bool> covered = {true, true, false};
+  const auto view = make_view(net, mapping, covered, 5);
+  const auto reach =
+      adversary.choose_unreliable_reach(view, {0, 1});
+  ASSERT_EQ(reach.size(), 2u);
+  ASSERT_EQ(reach[0].extra.size(), 1u);  // 0 jams node 2
+  EXPECT_EQ(reach[0].extra.front(), 2);
+  EXPECT_TRUE(reach[1].extra.empty());
+}
+
+TEST(GreedyBlocker, LeavesCoveredNodesAlone) {
+  Graph g = gen::path(3);
+  Graph gp = gen::path(3);
+  gp.add_undirected_edge(0, 2);
+  const DualGraph net(std::move(g), std::move(gp), 0);
+  GreedyBlockerAdversary adversary;
+  std::vector<ProcessId> mapping = {0, 1, 2};
+  std::vector<bool> covered = {true, true, true};
+  const auto view = make_view(net, mapping, covered, 5);
+  const auto reach = adversary.choose_unreliable_reach(view, {0, 1});
+  EXPECT_TRUE(reach[0].extra.empty());
+  EXPECT_TRUE(reach[1].extra.empty());
+}
+
+TEST(GreedyBlocker, CannotJamLoneSender) {
+  Graph g = gen::path(3);
+  Graph gp = gen::path(3);
+  gp.add_undirected_edge(0, 2);
+  const DualGraph net(std::move(g), std::move(gp), 0);
+  GreedyBlockerAdversary adversary;
+  std::vector<ProcessId> mapping = {0, 1, 2};
+  std::vector<bool> covered = {true, true, false};
+  const auto view = make_view(net, mapping, covered, 5);
+  const auto reach = adversary.choose_unreliable_reach(view, {1});
+  EXPECT_TRUE(reach[0].extra.empty());  // progress is unavoidable
+}
+
+TEST(GreedyBlocker, DelaysBroadcastRelativeToBenign) {
+  // Round robin has a single sender per round, so the blocker is powerless
+  // against it (jamming needs a second sender). Harmonic broadcast has many
+  // simultaneous senders, which is exactly what the blocker weaponizes.
+  const DualGraph net = duals::layered_complete_gprime(6, 4);
+  const ProcessFactory factory = make_harmonic_factory(net.node_count());
+  SimConfig config;
+  config.max_rounds = 3'000'000;
+  config.seed = 5;
+  BenignAdversary benign;
+  GreedyBlockerAdversary greedy;
+  const SimResult fast = run_broadcast(net, factory, benign, config);
+  const SimResult slow = run_broadcast(net, factory, greedy, config);
+  ASSERT_TRUE(fast.completed);
+  ASSERT_TRUE(slow.completed);
+  EXPECT_GT(slow.completion_round, fast.completion_round);
+  EXPECT_GT(slow.total_collision_events, fast.total_collision_events);
+}
+
+TEST(GreedyBlocker, PowerlessAgainstSingleSenderSchedules) {
+  // The flip side: round robin isolates every informed node once per n
+  // rounds and the blocker cannot interfere with a lone sender.
+  const DualGraph net = duals::layered_complete_gprime(6, 4);
+  const ProcessFactory factory = make_round_robin_factory(net.node_count());
+  SimConfig config;
+  config.max_rounds = 1'000'000;
+  BenignAdversary benign;
+  GreedyBlockerAdversary greedy;
+  const SimResult fast = run_broadcast(net, factory, benign, config);
+  const SimResult slow = run_broadcast(net, factory, greedy, config);
+  ASSERT_TRUE(fast.completed);
+  ASSERT_TRUE(slow.completed);
+  EXPECT_EQ(slow.completion_round, fast.completion_round);
+}
+
+TEST(GreedyBlocker, Cr4HandsOverTokenlessMessage) {
+  GreedyBlockerAdversary adversary;
+  const DualGraph net = duals::bridge_network(5);
+  std::vector<ProcessId> mapping = {0, 1, 2, 3, 4};
+  std::vector<bool> covered(5, false);
+  const auto view = make_view(net, mapping, covered, 1);
+  const Message with_token{true, 0, 1, 0};
+  const Message without{false, 1, 1, 0};
+  const Reception rec = adversary.resolve_cr4(view, 3, {with_token, without});
+  ASSERT_TRUE(rec.is_message());
+  EXPECT_FALSE(rec.message->token);
+  const Reception rec2 = adversary.resolve_cr4(view, 3, {with_token});
+  EXPECT_TRUE(rec2.is_silence());
+}
+
+// ---------------------------------------------------------------- Theorem2
+
+TEST(Theorem2Adversary, SingleCliqueSenderReachesOnlyClique) {
+  const NodeId n = 8;
+  const DualGraph net = duals::bridge_network(n);
+  const auto layout = duals::bridge_layout(n);
+  Theorem2Adversary rules(layout);
+  FixedAssignmentAdversary adversary(theorem2_assignment(n, 3), rules);
+  // Clique node 2 (not source, not bridge) sends alone in round 1.
+  std::vector<std::pair<Round, Reception>> received;
+  const auto factory = scripted_factory({{theorem2_assignment(n, 3)[2], {1}}},
+                                        &received, n - 1);
+  SimConfig config;
+  config.rule = CollisionRule::CR1;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 1;
+  config.trace = TraceLevel::Full;
+  config.stop_on_completion = false;
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  // Receiver heard silence; clique nodes heard the message.
+  const auto& recs = result.trace.rounds[0].receptions;
+  EXPECT_TRUE(recs[static_cast<std::size_t>(layout.receiver)].is_silence());
+  EXPECT_TRUE(recs[0].is_message());
+  EXPECT_TRUE(recs[static_cast<std::size_t>(layout.bridge)].is_message());
+}
+
+TEST(Theorem2Adversary, BridgeSoloReachesEveryone) {
+  const NodeId n = 8;
+  const DualGraph net = duals::bridge_network(n);
+  const auto layout = duals::bridge_layout(n);
+  Theorem2Adversary rules(layout);
+  const auto assignment = theorem2_assignment(n, 4);
+  FixedAssignmentAdversary adversary(assignment, rules);
+  const auto factory = scripted_factory(
+      {{assignment[static_cast<std::size_t>(layout.bridge)], {1}}});
+  SimConfig config;
+  config.rule = CollisionRule::CR1;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 1;
+  config.trace = TraceLevel::Full;
+  config.stop_on_completion = false;
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_TRUE(result.trace.rounds[0]
+                    .receptions[static_cast<std::size_t>(v)]
+                    .is_message())
+        << v;
+  }
+}
+
+TEST(Theorem2Adversary, MultiSenderGivesEveryoneCollision) {
+  const NodeId n = 8;
+  const DualGraph net = duals::bridge_network(n);
+  Theorem2Adversary rules(duals::bridge_layout(n));
+  const auto assignment = theorem2_assignment(n, 2);
+  FixedAssignmentAdversary adversary(assignment, rules);
+  const auto factory =
+      scripted_factory({{assignment[2], {1}}, {assignment[3], {1}}});
+  SimConfig config;
+  config.rule = CollisionRule::CR1;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 1;
+  config.trace = TraceLevel::Full;
+  config.stop_on_completion = false;
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_TRUE(result.trace.rounds[0]
+                    .receptions[static_cast<std::size_t>(v)]
+                    .is_collision())
+        << v;
+  }
+}
+
+TEST(Theorem2Assignment, IsPermutationWithPins) {
+  const NodeId n = 10;
+  for (ProcessId i = 1; i <= n - 2; ++i) {
+    const auto assignment = theorem2_assignment(n, i);
+    EXPECT_EQ(assignment[0], 0);
+    EXPECT_EQ(assignment[1], i);
+    EXPECT_EQ(assignment[static_cast<std::size_t>(n - 1)], n - 1);
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (ProcessId p : assignment) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+  EXPECT_THROW(theorem2_assignment(n, 0), std::invalid_argument);
+  EXPECT_THROW(theorem2_assignment(n, n - 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Scripted
+
+TEST(ScriptedAdversary, ReplaysReachChoices) {
+  Graph g = gen::path(3);
+  Graph gp = gen::path(3);
+  gp.add_undirected_edge(0, 2);
+  const DualGraph net(std::move(g), std::move(gp), 0);
+  AdversaryScript script;
+  script.reach.resize(2);
+  script.reach[0][0] = {2};  // round 1: sender 0 reaches node 2 unreliably
+  ScriptedAdversary adversary(script);
+  const auto factory = scripted_factory({{0, {1, 2}}});
+  SimConfig config;
+  config.rule = CollisionRule::CR1;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 2;
+  config.trace = TraceLevel::Full;
+  config.stop_on_completion = false;
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  EXPECT_TRUE(result.trace.rounds[0].receptions[2].is_message());  // scripted
+  EXPECT_TRUE(result.trace.rounds[1].receptions[2].is_silence());  // beyond
+}
+
+TEST(ScriptedAdversary, ForcesCr4Resolution) {
+  Graph g = gen::clique(3);
+  const DualGraph net = make_classical(std::move(g), 0);
+  AdversaryScript script;
+  script.cr4.resize(1);
+  const Message forced{false, 1, 1, 0};
+  script.cr4[0][2] = Reception::of(forced);
+  ScriptedAdversary adversary(script);
+  const auto factory = scripted_factory({{0, {1}}, {1, {1}}});
+  SimConfig config;
+  config.rule = CollisionRule::CR4;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 1;
+  config.trace = TraceLevel::Full;
+  config.stop_on_completion = false;
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  const auto& rec = result.trace.rounds[0].receptions[2];
+  ASSERT_TRUE(rec.is_message());
+  EXPECT_EQ(rec.message->origin, 1);
+}
+
+// --------------------------------------------------------------- Legality
+
+TEST(AdversaryLegality, SimulatorRejectsIllegalReach) {
+  // An adversary that fires a reliable edge as if it were unreliable must be
+  // caught by the engine's validation.
+  class Cheater : public Adversary {
+   public:
+    std::vector<ReachChoice> choose_unreliable_reach(
+        const AdversaryView&, const std::vector<NodeId>& senders) override {
+      std::vector<ReachChoice> out(senders.size());
+      if (!senders.empty()) out[0].extra = {1};  // 0-1 is reliable
+      return out;
+    }
+  };
+  Graph g = gen::path(3);
+  Graph gp = gen::path(3);
+  gp.add_undirected_edge(0, 2);
+  const DualGraph net(std::move(g), std::move(gp), 0);
+  Cheater adversary;
+  const auto factory = scripted_factory({{0, {1}}});
+  SimConfig config;
+  config.max_rounds = 1;
+  EXPECT_THROW(run_broadcast(net, factory, adversary, config),
+               std::logic_error);
+}
+
+TEST(AdversaryLegality, SimulatorRejectsBadCr4Resolution) {
+  class Cheater : public FullInterferenceAdversary {
+   public:
+    Reception resolve_cr4(const AdversaryView&, NodeId,
+                          const std::vector<Message>&) override {
+      return Reception::of(Message{true, 99, 0, 0});  // not an arrival
+    }
+  };
+  Graph g = gen::clique(3);
+  const DualGraph net = make_classical(std::move(g), 0);
+  Cheater adversary;
+  const auto factory = scripted_factory({{0, {1}}, {1, {1}}});
+  SimConfig config;
+  config.rule = CollisionRule::CR4;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 1;
+  EXPECT_THROW(run_broadcast(net, factory, adversary, config),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dualrad

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/harmonic.hpp"
+#include "algorithms/strong_select.hpp"
+#include "core/audit.hpp"
+#include "core/simulator.hpp"
+#include "graph/dual_builders.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace dualrad {
+namespace {
+
+SimResult run_traced(const DualGraph& net, const ProcessFactory& factory,
+                     Adversary& adversary, CollisionRule rule) {
+  SimConfig config;
+  config.rule = rule;
+  config.max_rounds = 2'000'000;
+  config.trace = TraceLevel::Full;
+  return run_broadcast(net, factory, adversary, config);
+}
+
+TEST(Audit, CleanExecutionsPass) {
+  const DualGraph net = duals::gray_zone({.n = 32, .seed = 6});
+  for (CollisionRule rule :
+       {CollisionRule::CR1, CollisionRule::CR2, CollisionRule::CR3,
+        CollisionRule::CR4}) {
+    GreedyBlockerAdversary adversary;
+    const SimResult result = run_traced(
+        net, make_harmonic_factory(net.node_count()), adversary, rule);
+    const auto report = audit::audit_execution(net, result, rule);
+    EXPECT_TRUE(report.ok) << to_string(rule) << ": "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+  }
+}
+
+TEST(Audit, StrongSelectPasses) {
+  const DualGraph net = duals::layered_complete_gprime(5, 3);
+  BernoulliAdversary adversary(0.4, 3);
+  const SimResult result =
+      run_traced(net, make_strong_select_factory(net.node_count()), adversary,
+                 CollisionRule::CR4);
+  EXPECT_TRUE(audit::audit_execution(net, result, CollisionRule::CR4).ok);
+}
+
+TEST(Audit, RequiresFullTrace) {
+  const DualGraph net = duals::bridge_network(8);
+  BenignAdversary adversary;
+  SimConfig config;
+  config.max_rounds = 10'000;
+  const SimResult result =
+      run_broadcast(net, make_harmonic_factory(8), adversary, config);
+  const auto report =
+      audit::audit_execution(net, result, CollisionRule::CR4);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Audit, DetectsTamperedReach) {
+  const DualGraph net = duals::bridge_network(8);
+  BenignAdversary adversary;
+  SimResult result = run_traced(net, make_harmonic_factory(8), adversary,
+                                CollisionRule::CR4);
+  ASSERT_TRUE(result.completed);
+  // Tamper: claim a sender reached a node with no G' edge (self loop is
+  // never an edge).
+  ASSERT_FALSE(result.trace.rounds.empty());
+  for (auto& record : result.trace.rounds) {
+    if (!record.senders.empty()) {
+      record.senders.front().reached.push_back(record.senders.front().node);
+      break;
+    }
+  }
+  EXPECT_FALSE(audit::audit_execution(net, result, CollisionRule::CR4).ok);
+}
+
+TEST(Audit, DetectsSkippedReliableEdge) {
+  const DualGraph net = duals::bridge_network(8);
+  BenignAdversary adversary;
+  SimResult result = run_traced(net, make_harmonic_factory(8), adversary,
+                                CollisionRule::CR4);
+  for (auto& record : result.trace.rounds) {
+    if (!record.senders.empty() && !record.senders.front().reached.empty()) {
+      record.senders.front().reached.pop_back();
+      break;
+    }
+  }
+  EXPECT_FALSE(audit::audit_execution(net, result, CollisionRule::CR4).ok);
+}
+
+TEST(Audit, DetectsForgedFirstToken) {
+  const DualGraph net = duals::bridge_network(8);
+  BenignAdversary adversary;
+  SimResult result = run_traced(net, make_harmonic_factory(8), adversary,
+                                CollisionRule::CR4);
+  result.first_token.back() = 1;  // receiver cannot have it that early
+  EXPECT_FALSE(audit::audit_execution(net, result, CollisionRule::CR4).ok);
+}
+
+TEST(Audit, DetectsWrongRuleClaim) {
+  // An execution under CR1 contains collision notifications, which are
+  // illegal under CR4.
+  Graph g = gen::clique(3);
+  const DualGraph net = make_classical(std::move(g), 0);
+  BenignAdversary adversary;
+  const auto factory =
+      testing::scripted_factory({{0, {1, 2}}, {1, {1}}, {2, {2}}});
+  SimConfig config;
+  config.rule = CollisionRule::CR1;
+  config.start = StartRule::Synchronous;
+  config.max_rounds = 4;
+  config.trace = TraceLevel::Full;
+  config.stop_on_completion = false;
+  const SimResult result = run_broadcast(net, factory, adversary, config);
+  EXPECT_TRUE(audit::audit_execution(net, result, CollisionRule::CR1).ok);
+  EXPECT_FALSE(audit::audit_execution(net, result, CollisionRule::CR4).ok);
+}
+
+}  // namespace
+}  // namespace dualrad

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/broadcastability.hpp"
+#include "graph/dual_builders.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/theorem11_network.hpp"
+
+namespace dualrad {
+namespace {
+
+namespace bc = broadcastability;
+
+TEST(Broadcastability, BridgeNetworkIs2Broadcastable) {
+  const DualGraph net = duals::bridge_network(10);
+  EXPECT_EQ(bc::broadcastability_lower_bound(net), 2);
+  const auto exact = bc::exact_oracle_schedule(net);
+  EXPECT_EQ(exact.rounds(), 2);  // source, then bridge
+  EXPECT_EQ(bc::coverage_after(net, exact), 10);
+}
+
+TEST(Broadcastability, ExactMatchesTheProofSchedule) {
+  const DualGraph net = duals::bridge_network(8);
+  const auto layout = duals::bridge_layout(8);
+  const auto exact = bc::exact_oracle_schedule(net);
+  ASSERT_EQ(exact.senders.size(), 2u);
+  EXPECT_EQ(exact.senders[0], layout.source);
+  EXPECT_EQ(exact.senders[1], layout.bridge);
+}
+
+TEST(Broadcastability, GreedyIsValidOnAllFamilies) {
+  const DualGraph nets[] = {
+      duals::bridge_network(16),
+      duals::theorem12_network(17),
+      duals::layered_complete_gprime(5, 3),
+      duals::gray_zone({.n = 40, .seed = 2}),
+      lowerbound::theorem11_network(36),
+  };
+  for (const DualGraph& net : nets) {
+    const auto greedy = bc::greedy_oracle_schedule(net);
+    EXPECT_EQ(bc::coverage_after(net, greedy), net.node_count());
+    EXPECT_GE(greedy.rounds(), bc::broadcastability_lower_bound(net));
+  }
+}
+
+TEST(Broadcastability, GreedyNeverWorseThanNodeCount) {
+  // One new node per round minimum: schedule length <= n - 1.
+  for (NodeId n : {8, 16, 24}) {
+    const DualGraph net = duals::bridge_network(n);
+    EXPECT_LE(bc::greedy_oracle_schedule(net).rounds(), n - 1);
+  }
+}
+
+TEST(Broadcastability, ExactNoLongerThanGreedy) {
+  const DualGraph nets[] = {
+      duals::bridge_network(8),
+      make_classical(gen::path(7), 0),
+      make_classical(gen::star(7), 0),
+  };
+  for (const DualGraph& net : nets) {
+    const auto exact = bc::exact_oracle_schedule(net, 10);
+    const auto greedy = bc::greedy_oracle_schedule(net);
+    EXPECT_LE(exact.rounds(), greedy.rounds());
+    EXPECT_EQ(bc::coverage_after(net, exact), net.node_count());
+  }
+}
+
+TEST(Broadcastability, PathNeedsNMinus1Rounds) {
+  const DualGraph net = make_classical(gen::path(6), 0);
+  EXPECT_EQ(bc::broadcastability_lower_bound(net), 5);
+  EXPECT_EQ(bc::exact_oracle_schedule(net).rounds(), 5);
+}
+
+TEST(Broadcastability, StarNeeds1Round) {
+  const DualGraph net = make_classical(gen::star(9), 0);
+  EXPECT_EQ(bc::exact_oracle_schedule(net).rounds(), 1);
+}
+
+TEST(Broadcastability, Theorem12NetworkDepth) {
+  // Layers 0..(n-1)/2: lower bound is the number of layers.
+  const DualGraph net = duals::theorem12_network(9);
+  EXPECT_EQ(bc::broadcastability_lower_bound(net), 4);
+}
+
+TEST(Broadcastability, CoverageRejectsUncoveredSender) {
+  const DualGraph net = duals::bridge_network(8);
+  bc::OracleSchedule bad;
+  bad.senders = {duals::bridge_layout(8).receiver};  // uncovered at round 1
+  EXPECT_THROW((void)bc::coverage_after(net, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dualrad

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/dual_builders.hpp"
+#include "graph/dual_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace dualrad {
+namespace {
+
+TEST(Graph, EmptyGraphHasNoEdges) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AddEdgeIsDirected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_FALSE(g.is_undirected());
+}
+
+TEST(Graph, AddUndirectedEdgeAddsBoth) {
+  Graph g(3);
+  g.add_undirected_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, 0), std::invalid_argument);
+}
+
+TEST(Graph, SubgraphDetection) {
+  Graph small(4), big(4);
+  small.add_edge(0, 1);
+  big.add_edge(0, 1);
+  big.add_edge(1, 2);
+  EXPECT_TRUE(small.is_subgraph_of(big));
+  EXPECT_FALSE(big.is_subgraph_of(small));
+}
+
+TEST(Graph, MaxDegrees) {
+  Graph g = gen::star(5);
+  EXPECT_EQ(g.max_out_degree(), 4u);
+  EXPECT_EQ(g.max_in_degree(), 4u);
+}
+
+TEST(GraphAlg, BfsDistancesOnPath) {
+  Graph g = gen::path(5);
+  const auto d = graphalg::bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(GraphAlg, UnreachableIsNever) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = graphalg::bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kNever);
+  EXPECT_FALSE(graphalg::all_reachable(g, 0));
+}
+
+TEST(GraphAlg, DiameterOfCycle) {
+  EXPECT_EQ(graphalg::diameter(gen::cycle(6)), 3);
+  EXPECT_EQ(graphalg::diameter(gen::clique(6)), 1);
+}
+
+TEST(GraphAlg, EccentricityOfStarCenter) {
+  EXPECT_EQ(graphalg::eccentricity(gen::star(9), 0), 1);
+  EXPECT_EQ(graphalg::eccentricity(gen::star(9), 3), 2);
+}
+
+TEST(GraphAlg, WeaklyConnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(graphalg::weakly_connected(g));
+  g.add_edge(2, 1);
+  EXPECT_TRUE(graphalg::weakly_connected(g));
+}
+
+TEST(Generators, CliqueEdgeCount) {
+  const Graph g = gen::clique(7);
+  EXPECT_EQ(g.edge_count(), 7u * 6u);  // directed count
+  EXPECT_TRUE(g.is_undirected());
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_TRUE(g.is_undirected());
+  EXPECT_EQ(graphalg::diameter(g), 2 + 3);
+}
+
+TEST(Generators, RandomTreeIsConnectedAndAcyclic) {
+  const Graph g = gen::random_tree(40, 7);
+  EXPECT_TRUE(graphalg::all_reachable(g, 0));
+  EXPECT_EQ(g.edge_count(), 2u * 39u);
+}
+
+TEST(Generators, GnpConnected) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Graph g = gen::gnp_connected(30, 0.05, seed);
+    EXPECT_TRUE(graphalg::all_reachable(g, 0));
+  }
+}
+
+TEST(Generators, CompleteLayeredStructure) {
+  const Graph g = gen::complete_layered({1, 2, 2});
+  // node 0 - layer 0; nodes 1,2 - layer 1; nodes 3,4 - layer 2.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));   // intra-layer
+  EXPECT_TRUE(g.has_edge(2, 4));   // adjacent layers
+  EXPECT_FALSE(g.has_edge(0, 3));  // non-adjacent layers
+}
+
+TEST(Generators, DirectedLayeredIsForwardOnly) {
+  const Graph g = gen::directed_layered({1, 2, 2});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(1, 2));  // no intra-layer edges
+}
+
+TEST(DualGraph, ValidatesSubsetAndReachability) {
+  Graph g(3), gp(3);
+  g.add_undirected_edge(0, 1);
+  gp.add_undirected_edge(0, 1);
+  gp.add_undirected_edge(1, 2);
+  // node 2 unreachable in G:
+  EXPECT_THROW(DualGraph(g, gp, 0), std::invalid_argument);
+  g.add_undirected_edge(1, 2);
+  gp.add_undirected_edge(0, 2);
+  const DualGraph net(g, gp, 0);
+  EXPECT_EQ(net.node_count(), 3);
+  EXPECT_FALSE(net.is_classical());
+  EXPECT_TRUE(net.is_undirected());
+}
+
+TEST(DualGraph, RejectsEdgeNotInGPrime) {
+  Graph g(3), gp(3);
+  g.add_undirected_edge(0, 1);
+  g.add_undirected_edge(1, 2);
+  gp.add_undirected_edge(0, 1);
+  EXPECT_THROW(DualGraph(g, gp, 0), std::invalid_argument);
+}
+
+TEST(DualGraph, UnreliableOutIsGPrimeMinusG) {
+  const DualGraph net = duals::bridge_network(6);
+  const auto layout = duals::bridge_layout(6);
+  // A clique node (not bridge) has exactly one unreliable target: receiver.
+  const auto& extra = net.unreliable_out(2);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra.front(), layout.receiver);
+  EXPECT_TRUE(net.unreliable_out(layout.bridge).empty());
+}
+
+TEST(DualGraph, ClassicalHasNoUnreliableEdges) {
+  const DualGraph net = make_classical(gen::clique(5), 0);
+  EXPECT_TRUE(net.is_classical());
+  EXPECT_EQ(net.unreliable_edge_count(), 0u);
+}
+
+TEST(DualBuilders, BridgeNetworkIs2Broadcastable) {
+  const DualGraph net = duals::bridge_network(8);
+  const auto layout = duals::bridge_layout(8);
+  // Source can reach everyone within 2 hops in G via the bridge.
+  const auto d = graphalg::bfs_distances(net.g(), net.source());
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_LE(d[static_cast<std::size_t>(v)], 2);
+  }
+  EXPECT_EQ(d[static_cast<std::size_t>(layout.receiver)], 2);
+}
+
+TEST(DualBuilders, Theorem12NetworkLayers) {
+  const NodeId n = 17;  // n-1 = 16
+  const DualGraph net = duals::theorem12_network(n);
+  const auto layer = duals::theorem12_layers(n);
+  EXPECT_EQ(layer[0], 0);
+  EXPECT_EQ(layer[1], 1);
+  EXPECT_EQ(layer[2], 1);
+  EXPECT_EQ(layer[3], 2);
+  // Edges: same layer or adjacent layers only in G.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const auto lu = layer[static_cast<std::size_t>(u)];
+      const auto lv = layer[static_cast<std::size_t>(v)];
+      EXPECT_EQ(net.g().has_edge(u, v), std::abs(lu - lv) <= 1) << u << " " << v;
+      EXPECT_TRUE(net.g_prime().has_edge(u, v));
+    }
+  }
+}
+
+TEST(DualBuilders, Theorem12RequiresPowerOfTwo) {
+  EXPECT_THROW(duals::theorem12_network(12), std::invalid_argument);
+}
+
+TEST(DualBuilders, GrayZoneIsValidDual) {
+  for (std::uint64_t seed : {1, 5, 9}) {
+    duals::GrayZoneParams params;
+    params.n = 40;
+    params.seed = seed;
+    const DualGraph net = duals::gray_zone(params);
+    EXPECT_TRUE(net.g().is_subgraph_of(net.g_prime()));
+    EXPECT_TRUE(graphalg::all_reachable(net.g(), net.source()));
+    EXPECT_TRUE(net.is_undirected());
+  }
+}
+
+TEST(DualBuilders, BackbonePlusUnreliable) {
+  duals::BackboneParams params;
+  params.n = 50;
+  params.p_unreliable = 0.3;
+  params.seed = 11;
+  const DualGraph net = duals::backbone_plus_unreliable(params);
+  EXPECT_TRUE(graphalg::all_reachable(net.g(), 0));
+  EXPECT_GT(net.unreliable_edge_count(), 0u);
+}
+
+TEST(DualBuilders, StripUnreliableGivesClassical) {
+  const DualGraph net = duals::bridge_network(10);
+  const DualGraph classical = duals::strip_unreliable(net);
+  EXPECT_TRUE(classical.is_classical());
+  EXPECT_EQ(classical.g().edge_count(), net.g().edge_count());
+}
+
+TEST(DualBuilders, LayeredCompleteGPrime) {
+  const DualGraph net = duals::layered_complete_gprime(4, 3);
+  EXPECT_EQ(net.node_count(), 1 + 3 * 3);
+  EXPECT_TRUE(graphalg::all_reachable(net.g(), 0));
+  EXPECT_FALSE(net.is_classical());
+}
+
+}  // namespace
+}  // namespace dualrad

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.hpp"
+
+namespace dualrad {
+namespace {
+
+TEST(CounterRng, IsPure) {
+  const CounterRng rng(42);
+  for (Round r : {Round{1}, Round{17}, Round{100000}}) {
+    EXPECT_EQ(rng.bits(r), rng.bits(r));
+    EXPECT_EQ(rng.uniform(r, 3), rng.uniform(r, 3));
+  }
+}
+
+TEST(CounterRng, DistinctRoundsDiffer) {
+  const CounterRng rng(42);
+  std::set<std::uint64_t> values;
+  for (Round r = 1; r <= 100; ++r) values.insert(rng.bits(r));
+  EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(CounterRng, DistinctKeysDiffer) {
+  EXPECT_NE(CounterRng(1).bits(5), CounterRng(2).bits(5));
+}
+
+TEST(CounterRng, UniformIsInUnitInterval) {
+  const CounterRng rng(7);
+  for (Round r = 1; r <= 1000; ++r) {
+    const double u = rng.uniform(r);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, BernoulliFrequencyRoughlyMatches) {
+  const CounterRng rng(11);
+  int hits = 0;
+  const int trials = 10000;
+  for (Round r = 1; r <= trials; ++r) {
+    if (rng.bernoulli(0.25, r)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(CounterRng, BelowStaysInRange) {
+  const CounterRng rng(13);
+  for (Round r = 1; r <= 1000; ++r) {
+    EXPECT_LT(rng.below(7, r), 7u);
+  }
+  EXPECT_THROW((void)rng.below(0, 1), std::invalid_argument);
+}
+
+TEST(StreamRng, ReproducibleStreams) {
+  StreamRng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamRng, UniformCoverage) {
+  StreamRng rng(3);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(MixSeed, SeparatesStreams) {
+  EXPECT_NE(mix_seed(1, 0), mix_seed(1, 1));
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+  EXPECT_EQ(mix_seed(9, 9), mix_seed(9, 9));
+}
+
+}  // namespace
+}  // namespace dualrad

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "algorithms/broadcast_algorithm.hpp"
+#include "core/process.hpp"
+
+/// Test helpers: tiny controllable processes.
+
+namespace dualrad::testing {
+
+/// Sends (token iff it has it) in exactly the given rounds, regardless of
+/// state. Useful for steering the simulator from tests.
+class ScriptedSender final : public TokenProcess {
+ public:
+  ScriptedSender(ProcessId id, std::set<Round> send_rounds)
+      : TokenProcess(id), send_rounds_(std::move(send_rounds)) {}
+  ScriptedSender(const ScriptedSender&) = default;
+
+  [[nodiscard]] Action next_action(Round round) const override {
+    if (!send_rounds_.contains(round)) return Action::silent();
+    return Action::transmit(Message{has_token(), id(), round, 0});
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<ScriptedSender>(*this);
+  }
+
+ private:
+  std::set<Round> send_rounds_;
+};
+
+/// Never sends; records everything it receives.
+class Recorder final : public TokenProcess {
+ public:
+  explicit Recorder(ProcessId id,
+                    std::vector<std::pair<Round, Reception>>* sink = nullptr)
+      : TokenProcess(id), sink_(sink) {}
+  Recorder(const Recorder&) = default;
+
+  [[nodiscard]] Action next_action(Round) const override {
+    return Action::silent();
+  }
+
+  void on_receive(Round round, const Reception& reception) override {
+    TokenProcess::on_receive(round, reception);
+    if (sink_ != nullptr) sink_->emplace_back(round, reception);
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<Recorder>(*this);
+  }
+
+ private:
+  std::vector<std::pair<Round, Reception>>* sink_;
+};
+
+/// Factory over per-id scripts; ids missing from the table are Recorders.
+inline ProcessFactory scripted_factory(
+    std::vector<std::pair<ProcessId, std::set<Round>>> scripts,
+    std::vector<std::pair<Round, Reception>>* recorder_sink = nullptr,
+    ProcessId recorded_id = -1) {
+  return [scripts = std::move(scripts), recorder_sink, recorded_id](
+             ProcessId id, NodeId, std::uint64_t) -> std::unique_ptr<Process> {
+    for (const auto& [pid, rounds] : scripts) {
+      if (pid == id) return std::make_unique<ScriptedSender>(id, rounds);
+    }
+    return std::make_unique<Recorder>(
+        id, id == recorded_id ? recorder_sink : nullptr);
+  };
+}
+
+}  // namespace dualrad::testing

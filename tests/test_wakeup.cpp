@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/harmonic.hpp"
+#include "algorithms/wakeup_analysis.hpp"
+
+namespace dualrad {
+namespace {
+
+TEST(Wakeup, ProbabilitySumMatchesManualComputation) {
+  // Two nodes woken at 0 and 2, T = 2. Round 3: node 1 has
+  // p = 1/(1 + floor(2/2)) = 1/2, node 2 has p = 1 (first T rounds).
+  const std::vector<Round> pattern = {0, 2};
+  EXPECT_DOUBLE_EQ(wakeup::probability_sum(pattern, 3, 2), 0.5 + 1.0);
+  // Round 1: only node 1 awake and within its first T rounds.
+  EXPECT_DOUBLE_EQ(wakeup::probability_sum(pattern, 1, 2), 1.0);
+}
+
+TEST(Wakeup, Lemma15BoundFormula) {
+  // n = 3, T = 2: H(3) = 11/6 -> bound = ceil(3 * 2 * 11/6) = 11.
+  EXPECT_EQ(wakeup::lemma15_bound(3, 2), 11);
+}
+
+TEST(Wakeup, BusyRoundsWithinLemma15Bound) {
+  for (NodeId n : {2, 4, 8, 16}) {
+    for (Round T : {1, 2, 4}) {
+      const auto pattern = wakeup::stacked_pattern(n);
+      EXPECT_LE(wakeup::busy_rounds(pattern, T), wakeup::lemma15_bound(n, T))
+          << "n=" << n << " T=" << T;
+    }
+  }
+}
+
+TEST(Wakeup, ExhaustiveSmallInstancesRespectLemma15) {
+  // Every wake-up pattern with n <= 4 nodes and wake rounds <= 8.
+  for (NodeId n : {2, 3, 4}) {
+    for (Round T : {1, 2}) {
+      const Round max_busy = wakeup::max_busy_rounds_exhaustive(n, T, 8);
+      EXPECT_LE(max_busy, wakeup::lemma15_bound(n, T))
+          << "n=" << n << " T=" << T;
+      EXPECT_GT(max_busy, 0);
+    }
+  }
+}
+
+TEST(Wakeup, SingleNodeBusyExactlyT) {
+  // One node woken at 0: p = 1 for rounds 1..T, then 1/2 for T rounds etc.
+  // Busy (sum >= 1) iff p = 1, i.e. exactly the first T rounds.
+  for (Round T : {1, 3, 7}) {
+    EXPECT_EQ(wakeup::busy_rounds({0}, T), T);
+  }
+}
+
+TEST(Wakeup, FirstFreeRoundAfterInitialBurst) {
+  // Single node: rounds 1..T busy, T+1 free.
+  EXPECT_EQ(wakeup::first_free_round({0}, 4), 5);
+  // Two simultaneous wakers: sum = 2/(1+step) with step = floor((t-1)/2);
+  // busy while step <= 1 (rounds 1..4), first free at round 5.
+  EXPECT_EQ(wakeup::first_free_round({0, 0}, 2), 5);
+}
+
+TEST(Wakeup, StackedPatternShape) {
+  const auto pattern = wakeup::stacked_pattern(5);
+  ASSERT_EQ(pattern.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(pattern[i], static_cast<Round>(i));
+  }
+}
+
+TEST(Wakeup, RejectsUnsortedPattern) {
+  EXPECT_THROW((void)wakeup::busy_rounds({3, 1}, 2), std::invalid_argument);
+  EXPECT_THROW((void)wakeup::max_busy_rounds_exhaustive(12, 1, 3),
+               std::invalid_argument);
+}
+
+TEST(Wakeup, DenserPatternsAreBusier) {
+  // All nodes waking together should be at least as busy as fully spread.
+  const NodeId n = 6;
+  const Round T = 2;
+  const std::vector<Round> together(static_cast<std::size_t>(n), 0);
+  std::vector<Round> spread;
+  for (NodeId i = 0; i < n; ++i) {
+    spread.push_back(static_cast<Round>(i) * 50);
+  }
+  EXPECT_GE(wakeup::busy_rounds(together, T) + 5 * 50,
+            wakeup::busy_rounds(spread, T));
+  // Spread nodes each contribute ~T busy rounds of their own.
+  EXPECT_GE(wakeup::busy_rounds(spread, T), n * T - 1);
+}
+
+}  // namespace
+}  // namespace dualrad
