@@ -30,16 +30,16 @@ int main() {
   for (double c : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
     const HarmonicOptions options{.T = 0, .eps = eps, .constant = c};
     const Round T = harmonic_T(n, options);
-    GreedyBlockerAdversary greedy;
     SimConfig config;
     config.rule = CollisionRule::CR4;
     config.start = StartRule::Asynchronous;
     // Cap at ~4x the bound: trials that exceed it count as failures.
     config.max_rounds = 4 * harmonic_round_bound(n, T);
     std::size_t failures = 0;
-    const double mean =
-        benchutil::mean_rounds(net, make_harmonic_factory(n, options), greedy,
-                               config, trials, &failures);
+    const double mean = benchutil::mean_rounds(
+        net, make_harmonic_factory(n, options),
+        campaign::make_adversary_factory<GreedyBlockerAdversary>(), config,
+        trials, &failures);
     table.add_row({stats::Table::num(c, 0), std::to_string(T),
                    stats::Table::num(mean, 1), std::to_string(failures),
                    std::to_string(harmonic_round_bound(n, T))});

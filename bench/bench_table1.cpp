@@ -11,6 +11,10 @@
 // cliques/layered graphs completes in ~n rounds; Strong Select on dual
 // networks against the greedy blocker; the Theorem 2 and Theorem 12 executors
 // force the lower-bound shapes on *every* deterministic algorithm we run.
+//
+// The simulator-driven columns run as one campaign over the parallel trial
+// executor (src/campaign/); the lower-bound columns stay direct calls because
+// the executors are replay harnesses, not simulator runs.
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/greedy_blocker.hpp"
@@ -24,6 +28,27 @@
 
 using namespace dualrad;
 
+namespace {
+
+std::string classical_name(NodeId n) {
+  return "t1/classical-rr/n=" + std::to_string(n);
+}
+
+std::string dual_name(NodeId n) {
+  return "t1/dual-strong-select/n=" + std::to_string(n);
+}
+
+/// Completion round of a deterministic single-trial scenario, or kNever.
+Round scenario_rounds(const campaign::CampaignResult& result,
+                      const std::string& name) {
+  const campaign::ScenarioSummary* summary =
+      campaign::find_summary(result, name);
+  if (summary == nullptr || summary->rounds.count == 0) return kNever;
+  return static_cast<Round>(summary->rounds.mean);
+}
+
+}  // namespace
+
 int main() {
   benchutil::print_header(
       "T1", "Table 1 — deterministic broadcast",
@@ -32,35 +57,55 @@ int main() {
 
   const std::vector<NodeId> ns = {17, 33, 65, 129, 257};
 
+  // Both deterministic upper-bound columns, for every n, as one campaign.
+  std::vector<campaign::Scenario> scenarios;
+  for (NodeId n : ns) {
+    // Classical model: round robin on a diameter-2 undirected graph (the
+    // bridge topology with G' = G), synchronous start. O(n).
+    scenarios.push_back(
+        {.name = classical_name(n),
+         .network = [n] {
+           return duals::strip_unreliable(duals::bridge_network(n));
+         },
+         .algorithm =
+             [](const DualGraph& net) {
+               return make_round_robin_factory(net.node_count());
+             },
+         .adversary = campaign::make_adversary_factory<BenignAdversary>(),
+         .rule = CollisionRule::CR3,
+         .start = StartRule::Synchronous,
+         .max_rounds = 1'000'000,
+         .trials = 1});
+
+    // Dual graphs: Strong Select against the greedy blocker on the layered
+    // complete-G' family, CR4 + async start (the paper's weakest setting).
+    scenarios.push_back(
+        {.name = dual_name(n),
+         .network =
+             [n] {
+               return duals::layered_complete_gprime(
+                   std::max<NodeId>(3, (n - 1) / 4), 4);
+             },
+         .algorithm =
+             [](const DualGraph& net) {
+               return make_strong_select_factory(net.node_count());
+             },
+         .adversary =
+             campaign::make_adversary_factory<GreedyBlockerAdversary>(),
+         .rule = CollisionRule::CR4,
+         .start = StartRule::Asynchronous,
+         .max_rounds = 10'000'000,
+         .trials = 1});
+  }
+  const campaign::CampaignResult result = campaign::run_campaign(scenarios);
+
   stats::Table table({"n", "classical RR (G=G')", "dual StrongSelect (greedy)",
                       "Thm2 LB (>= n-2)", "Thm12 LB (>= (n-1)/4(log-2))"});
   std::vector<double> xs, classical_rr, dual_ss, lb2, lb12;
 
   for (NodeId n : ns) {
-    // Classical model: round robin on a diameter-2 undirected graph (the
-    // bridge topology with G' = G), synchronous start. O(n).
-    const DualGraph classical =
-        duals::strip_unreliable(duals::bridge_network(n));
-    BenignAdversary benign;
-    SimConfig sync_config;
-    sync_config.rule = CollisionRule::CR3;
-    sync_config.start = StartRule::Synchronous;
-    sync_config.max_rounds = 1'000'000;
-    const Round rr_rounds = benchutil::measure_rounds(
-        classical, make_round_robin_factory(n), benign, sync_config);
-
-    // Dual graphs: Strong Select against the greedy blocker on the layered
-    // complete-G' family, CR4 + async start (the paper's weakest setting).
-    const DualGraph dual = duals::layered_complete_gprime(
-        std::max<NodeId>(3, (n - 1) / 4), 4);
-    GreedyBlockerAdversary greedy;
-    SimConfig weak_config;
-    weak_config.rule = CollisionRule::CR4;
-    weak_config.start = StartRule::Asynchronous;
-    weak_config.max_rounds = 10'000'000;
-    const Round ss_rounds = benchutil::measure_rounds(
-        dual, make_strong_select_factory(dual.node_count()), greedy,
-        weak_config);
+    const Round rr_rounds = scenario_rounds(result, classical_name(n));
+    const Round ss_rounds = scenario_rounds(result, dual_name(n));
 
     // Lower bounds: the paper's executors against round robin (the
     // strongest deterministic baseline here; Strong Select is also forced,

@@ -36,25 +36,25 @@ int main() {
     // Classical: Decay on the diameter-2 bridge topology with G' = G.
     const DualGraph classical =
         duals::strip_unreliable(duals::bridge_network(n));
-    BenignAdversary benign;
     SimConfig config;
     config.rule = CollisionRule::CR3;
     config.start = StartRule::Synchronous;
     config.max_rounds = 1'000'000;
     const double decay_mean = benchutil::mean_rounds(
-        classical, make_decay_factory(n), benign, config, trials);
+        classical, make_decay_factory(n),
+        campaign::make_adversary_factory<BenignAdversary>(), config, trials);
 
     // Dual: Harmonic against the greedy blocker, CR4 + async start.
     const DualGraph dual = duals::layered_complete_gprime(
         std::max<NodeId>(3, (n - 1) / 4), 4);
     const NodeId dual_n = dual.node_count();
-    GreedyBlockerAdversary greedy;
     SimConfig weak;
     weak.rule = CollisionRule::CR4;
     weak.start = StartRule::Asynchronous;
     weak.max_rounds = 10'000'000;
     const double harmonic_mean = benchutil::mean_rounds(
-        dual, make_harmonic_factory(dual_n, {.eps = 0.1}), greedy, weak,
+        dual, make_harmonic_factory(dual_n, {.eps = 0.1}),
+        campaign::make_adversary_factory<GreedyBlockerAdversary>(), weak,
         trials);
     const Round bound =
         harmonic_round_bound(dual_n, harmonic_T(dual_n, {.eps = 0.1}));

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/engine.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
 #include "stats/fit.hpp"
@@ -13,6 +14,12 @@
 
 /// Shared helpers for the bench binaries. Each bench prints one or more
 /// paper-style tables plus the growth-shape fits used by EXPERIMENTS.md.
+///
+/// Repeated-trial measurement goes through the campaign engine
+/// (src/campaign/), which parallelizes trials across worker threads and
+/// gives every trial a *fresh* adversary from a factory — one shared
+/// Adversary& across trials would let stateful adversaries (Bernoulli noise
+/// streams, blockers with caches) leak state between samples.
 
 namespace dualrad::benchutil {
 
@@ -26,31 +33,45 @@ inline std::string rounds_str(Round r) {
   return r == kNever ? std::string("never") : std::to_string(r);
 }
 
-/// Completion round, or kNever.
+/// Completion round of a single execution, or kNever. (Single-execution
+/// measurement may share an adversary: the simulator resets it via
+/// on_execution_start.)
 inline Round measure_rounds(const DualGraph& net, const ProcessFactory& factory,
                             Adversary& adversary, const SimConfig& config) {
   const SimResult result = run_broadcast(net, factory, adversary, config);
   return result.completed ? result.completion_round : kNever;
 }
 
-/// Mean completion round over `trials` seeds (kNever trials excluded;
-/// `failures` counts them).
+/// One-scenario campaign over `trials` derived seeds; config.seed is the
+/// master seed. Each trial draws a fresh adversary from `adversary`.
+inline campaign::ScenarioSummary sample_rounds(
+    const DualGraph& net, const ProcessFactory& factory,
+    const campaign::AdversaryFactory& adversary, const SimConfig& config,
+    std::size_t trials, const std::string& name = "bench/sample") {
+  campaign::Scenario scenario;
+  scenario.name = name;
+  scenario.network = [&net] { return net; };
+  scenario.algorithm = [&factory](const DualGraph&) { return factory; };
+  scenario.adversary = adversary;
+  scenario.rule = config.rule;
+  scenario.start = config.start;
+  scenario.max_rounds = config.max_rounds;
+  scenario.trials = trials;
+  campaign::CampaignConfig cc;
+  cc.master_seed = config.seed;
+  return campaign::run_campaign({scenario}, cc).summaries.front();
+}
+
+/// Mean completion round over `trials` derived seeds (kNever trials
+/// excluded; `failures` counts them). -1 if no trial completed.
 inline double mean_rounds(const DualGraph& net, const ProcessFactory& factory,
-                          Adversary& adversary, SimConfig config,
-                          std::size_t trials, std::size_t* failures = nullptr) {
-  std::vector<double> samples;
-  std::size_t failed = 0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    config.seed = mix_seed(0xBE9C, t);
-    const Round r = measure_rounds(net, factory, adversary, config);
-    if (r == kNever) {
-      ++failed;
-    } else {
-      samples.push_back(static_cast<double>(r));
-    }
-  }
-  if (failures != nullptr) *failures = failed;
-  return samples.empty() ? -1.0 : stats::summarize(std::move(samples)).mean;
+                          const campaign::AdversaryFactory& adversary,
+                          const SimConfig& config, std::size_t trials,
+                          std::size_t* failures = nullptr) {
+  const campaign::ScenarioSummary summary =
+      sample_rounds(net, factory, adversary, config, trials);
+  if (failures != nullptr) *failures = summary.failures;
+  return summary.rounds.count == 0 ? -1.0 : summary.rounds.mean;
 }
 
 inline void print_fits(const std::vector<double>& n,

@@ -1,0 +1,265 @@
+#include "campaign/builtin_scenarios.hpp"
+
+#include <algorithm>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/cms_oblivious.hpp"
+#include "algorithms/decay.hpp"
+#include "algorithms/harmonic.hpp"
+#include "algorithms/round_robin_bcast.hpp"
+#include "algorithms/strong_select.hpp"
+#include "algorithms/uniform_gossip.hpp"
+#include "graph/dual_builders.hpp"
+#include "graph/generators.hpp"
+
+namespace dualrad::campaign {
+
+namespace {
+
+// Network builders. Sizes are chosen so the full catalogue runs in seconds
+// to low minutes; the campaign CLI's --trials flag scales sampling up.
+
+[[nodiscard]] NetworkBuilder layered(NodeId layers, NodeId width) {
+  return [layers, width] {
+    return duals::layered_complete_gprime(layers, width);
+  };
+}
+
+[[nodiscard]] NetworkBuilder classical_bridge(NodeId n) {
+  return [n] { return duals::strip_unreliable(duals::bridge_network(n)); };
+}
+
+[[nodiscard]] NetworkBuilder gray_zone(NodeId n, std::uint64_t seed) {
+  return [n, seed] {
+    return duals::gray_zone(
+        {.n = n, .r_reliable = 0.22, .r_gray = 0.55, .seed = seed});
+  };
+}
+
+[[nodiscard]] NetworkBuilder backbone(NodeId n, std::uint64_t seed) {
+  return [n, seed] {
+    return duals::backbone_plus_unreliable(
+        {.n = n, .p_reliable = 0.05, .p_unreliable = 0.2, .seed = seed});
+  };
+}
+
+// Algorithm builders.
+
+[[nodiscard]] AlgorithmBuilder round_robin() {
+  return [](const DualGraph& net) {
+    return make_round_robin_factory(net.node_count());
+  };
+}
+
+[[nodiscard]] AlgorithmBuilder strong_select() {
+  return [](const DualGraph& net) {
+    return make_strong_select_factory(net.node_count());
+  };
+}
+
+[[nodiscard]] AlgorithmBuilder harmonic(double eps = 0.1) {
+  return [eps](const DualGraph& net) {
+    return make_harmonic_factory(net.node_count(), {.eps = eps});
+  };
+}
+
+[[nodiscard]] AlgorithmBuilder decay() {
+  return [](const DualGraph& net) {
+    return make_decay_factory(net.node_count());
+  };
+}
+
+[[nodiscard]] AlgorithmBuilder gossip() {
+  return [](const DualGraph& net) {
+    return make_uniform_gossip_factory(net.node_count());
+  };
+}
+
+[[nodiscard]] AlgorithmBuilder cms() {
+  return [](const DualGraph& net) {
+    return make_cms_oblivious_factory(
+        net.node_count(),
+        {.delta = static_cast<NodeId>(net.g_prime().max_in_degree())});
+  };
+}
+
+// Adversary factories.
+
+[[nodiscard]] AdversaryFactory benign() {
+  return make_adversary_factory<BenignAdversary>();
+}
+
+[[nodiscard]] AdversaryFactory greedy() {
+  return make_adversary_factory<GreedyBlockerAdversary>();
+}
+
+[[nodiscard]] AdversaryFactory full_interference() {
+  return make_adversary_factory<FullInterferenceAdversary>();
+}
+
+[[nodiscard]] AdversaryFactory bernoulli(double p) {
+  return make_seeded_adversary_factory<BernoulliAdversary>(p);
+}
+
+}  // namespace
+
+void register_builtin_scenarios(ScenarioRegistry& registry) {
+  // --- Classical-model baselines (G == G', benign channel). ---
+  registry.add({.name = "classical/round-robin/bridge/benign",
+                .description = "Deterministic O(n) baseline: round robin on "
+                               "the diameter-2 bridge topology (Table 1, "
+                               "classical row)",
+                .tags = {"classical", "deterministic", "table1", "quick"},
+                .network = classical_bridge(33),
+                .algorithm = round_robin(),
+                .adversary = benign(),
+                .rule = CollisionRule::CR3,
+                .start = StartRule::Synchronous,
+                .max_rounds = 1'000'000,
+                .trials = 1});
+
+  registry.add({.name = "classical/decay/bridge/benign",
+                .description = "Randomized polylog baseline: BGI Decay on the "
+                               "classical bridge topology (Table 2, classical "
+                               "row)",
+                .tags = {"classical", "randomized", "table2", "quick"},
+                .network = classical_bridge(33),
+                .algorithm = decay(),
+                .adversary = benign(),
+                .rule = CollisionRule::CR3,
+                .start = StartRule::Synchronous,
+                .max_rounds = 1'000'000,
+                .trials = 5});
+
+  registry.add({.name = "classical/gossip/clique/benign",
+                .description = "Uniform gossip with p = 1/(n-1) on a clique: "
+                               "the ~e*n solo-isolation curve under the "
+                               "Theorem 4 ceiling",
+                .tags = {"classical", "randomized", "theorem4", "quick"},
+                .network = [] { return make_classical(gen::clique(33), 0); },
+                .algorithm = gossip(),
+                .adversary = benign(),
+                .rule = CollisionRule::CR3,
+                .start = StartRule::Synchronous,
+                .max_rounds = 1'000'000,
+                .trials = 5});
+
+  // --- Deterministic algorithms on dual graphs. ---
+  registry.add({.name = "dual/round-robin/layered/full-interference",
+                .description = "Round robin is adversary-proof (each covered "
+                               "node is isolated once every n rounds): full "
+                               "interference on the layered family",
+                .tags = {"dual", "deterministic", "section4", "quick"},
+                .network = layered(8, 4),
+                .algorithm = round_robin(),
+                .adversary = full_interference(),
+                .trials = 1});
+
+  registry.add({.name = "dual/strong-select/layered/greedy",
+                .description = "Strong Select (Section 5) vs the greedy "
+                               "collision-blocker on the layered "
+                               "complete-G' family",
+                .tags = {"dual", "deterministic", "table1", "section5"},
+                .network = layered(8, 4),
+                .algorithm = strong_select(),
+                .adversary = greedy(),
+                .trials = 1});
+
+  registry.add({.name = "dual/strong-select/layered/bernoulli:0.5",
+                .description = "Strong Select under stochastic link firing "
+                               "(each unreliable edge fires w.p. 1/2)",
+                .tags = {"dual", "deterministic", "section5"},
+                .network = layered(8, 4),
+                .algorithm = strong_select(),
+                .adversary = bernoulli(0.5),
+                .trials = 5});
+
+  registry.add({.name = "dual/strong-select/grayzone/greedy",
+                .description = "Strong Select on the geometric gray-zone "
+                               "family vs the greedy blocker",
+                .tags = {"dual", "deterministic", "grayzone"},
+                .network = gray_zone(48, 7),
+                .algorithm = strong_select(),
+                .adversary = greedy(),
+                .trials = 1});
+
+  registry.add({.name = "dual/cms/layered/greedy",
+                .description = "CMS oblivious baseline (Section 2.2, knows "
+                               "Delta) vs the greedy blocker",
+                .tags = {"dual", "deterministic", "section2.2", "quick"},
+                .network = layered(8, 4),
+                .algorithm = cms(),
+                .adversary = greedy(),
+                .trials = 1});
+
+  // --- Randomized algorithms on dual graphs. ---
+  registry.add({.name = "dual/harmonic/layered/greedy",
+                .description = "Harmonic Broadcast (Section 7) vs the greedy "
+                               "blocker: the ~n log^2 n upper-bound workload",
+                .tags = {"dual", "randomized", "table2", "section7"},
+                .network = layered(8, 4),
+                .algorithm = harmonic(),
+                .adversary = greedy(),
+                .max_rounds = 20'000'000,
+                .trials = 5});
+
+  registry.add({.name = "dual/harmonic/layered/full-interference",
+                .description = "Harmonic Broadcast under blanket unreliable "
+                               "interference",
+                .tags = {"dual", "randomized", "section7"},
+                .network = layered(8, 4),
+                .algorithm = harmonic(),
+                .adversary = full_interference(),
+                .max_rounds = 20'000'000,
+                .trials = 5});
+
+  registry.add({.name = "dual/harmonic/grayzone/bernoulli:0.3",
+                .description = "Harmonic Broadcast on the gray-zone family "
+                               "with stochastic gray links",
+                .tags = {"dual", "randomized", "grayzone", "section7"},
+                .network = gray_zone(48, 7),
+                .algorithm = harmonic(),
+                .adversary = bernoulli(0.3),
+                .max_rounds = 20'000'000,
+                .trials = 5});
+
+  registry.add({.name = "dual/harmonic/backbone/bernoulli:0.5",
+                .description = "Harmonic Broadcast on a reliable backbone "
+                               "plus stochastic unreliable extras",
+                .tags = {"dual", "randomized", "backbone", "section7"},
+                .network = backbone(48, 11),
+                .algorithm = harmonic(),
+                .adversary = bernoulli(0.5),
+                .max_rounds = 20'000'000,
+                .trials = 5});
+
+  registry.add({.name = "dual/gossip/layered/bernoulli:0.5",
+                .description = "Uniform gossip on the layered family with "
+                               "stochastic unreliable links",
+                .tags = {"dual", "randomized"},
+                .network = layered(8, 4),
+                .algorithm = gossip(),
+                .adversary = bernoulli(0.5),
+                .max_rounds = 2'000'000,
+                .trials = 5});
+
+  registry.add({.name = "dual/decay/layered/greedy",
+                .description = "Decay carries no dual-graph guarantee "
+                               "(Table 2's contrast): the greedy blocker can "
+                               "starve it, so trials may hit the round cap",
+                .tags = {"dual", "randomized", "table2", "negative"},
+                .network = layered(8, 4),
+                .algorithm = decay(),
+                .adversary = greedy(),
+                .max_rounds = 100'000,
+                .trials = 3});
+}
+
+ScenarioRegistry builtin_registry() {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  return registry;
+}
+
+}  // namespace dualrad::campaign

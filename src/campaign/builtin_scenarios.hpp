@@ -1,0 +1,23 @@
+#pragma once
+
+#include "campaign/registry.hpp"
+
+/// \file builtin_scenarios.hpp
+/// The standard scenario catalogue: the paper's Table 1 / Table 2 workloads
+/// and the realistic dual-graph families, as registered campaign scenarios.
+///
+/// Naming convention: <model>/<algorithm>/<network>/<adversary>, where model
+/// is "classical" (G == G') or "dual". Tags include the model, the algorithm
+/// family ("deterministic"/"randomized"), and the paper anchor ("table1",
+/// "table2", "section7", ...).
+
+namespace dualrad::campaign {
+
+/// Register the built-in catalogue (>= 12 scenarios) into `registry`.
+/// Throws if any name collides with an already-registered scenario.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+/// A fresh registry holding exactly the built-in catalogue.
+[[nodiscard]] ScenarioRegistry builtin_registry();
+
+}  // namespace dualrad::campaign

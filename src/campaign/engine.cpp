@@ -1,0 +1,195 @@
+#include "campaign/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <string_view>
+#include <thread>
+
+#include "core/rng.hpp"
+
+namespace dualrad::campaign {
+
+namespace {
+
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// One scenario with its network and factory built (once, serially).
+struct PreparedScenario {
+  const Scenario* spec = nullptr;
+  DualGraph net;
+  ProcessFactory factory;
+  std::uint64_t stream = 0;
+  std::size_t trials = 0;
+  std::size_t first_job = 0;  ///< index of trial 0 in the flat job list
+};
+
+}  // namespace
+
+std::uint64_t scenario_stream(std::uint64_t master_seed,
+                              std::string_view name) {
+  return mix_seed(master_seed, fnv1a64(name));
+}
+
+std::uint64_t trial_seed(std::uint64_t master_seed, std::string_view name,
+                         std::size_t trial) {
+  return mix_seed(scenario_stream(master_seed, name),
+                  static_cast<std::uint64_t>(trial));
+}
+
+CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
+                            const CampaignConfig& config) {
+  std::vector<PreparedScenario> prepared;
+  prepared.reserve(scenarios.size());
+  std::size_t total_jobs = 0;
+  std::set<std::string_view> names;
+  for (const Scenario& s : scenarios) {
+    // Duplicate names would share a seed stream (correlated trials) and
+    // collide in find_summary; reject them even when the caller bypassed a
+    // ScenarioRegistry.
+    DUALRAD_REQUIRE(names.insert(s.name).second,
+                    "duplicate scenario name in campaign: " + s.name);
+    DUALRAD_REQUIRE(static_cast<bool>(s.network) &&
+                        static_cast<bool>(s.algorithm) &&
+                        static_cast<bool>(s.adversary),
+                    "scenario '" + s.name + "' has unset builders");
+    DualGraph net = s.network();
+    ProcessFactory factory = s.algorithm(net);
+    DUALRAD_REQUIRE(static_cast<bool>(factory),
+                    "scenario '" + s.name + "' built a null process factory");
+    const std::size_t trials =
+        config.trials_override != 0 ? config.trials_override : s.trials;
+    DUALRAD_REQUIRE(trials >= 1,
+                    "scenario '" + s.name + "' needs at least one trial");
+    prepared.push_back(PreparedScenario{
+        &s, std::move(net), std::move(factory),
+        scenario_stream(config.master_seed, s.name), trials, total_jobs});
+    total_jobs += trials;
+  }
+
+  CampaignResult result;
+  result.trials.resize(total_jobs);
+
+  // job id -> scenario index, so workers claim jobs with one atomic fetch.
+  std::vector<std::size_t> scenario_of_job(total_jobs);
+  for (std::size_t si = 0; si < prepared.size(); ++si) {
+    for (std::size_t t = 0; t < prepared[si].trials; ++t) {
+      scenario_of_job[prepared[si].first_job + t] = si;
+    }
+  }
+
+  std::atomic<std::size_t> next_job{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex observer_mutex;
+
+  const auto run_one = [&](std::size_t job) {
+    const PreparedScenario& p = prepared[scenario_of_job[job]];
+    const std::size_t trial = job - p.first_job;
+    const std::uint64_t seed =
+        mix_seed(p.stream, static_cast<std::uint64_t>(trial));
+
+    // Fresh adversary per trial: stateful adversaries start clean, and no
+    // Adversary instance is ever shared between workers.
+    const std::unique_ptr<Adversary> adversary =
+        p.spec->adversary(mix_seed(seed, 0xAD));
+    DUALRAD_CHECK(adversary != nullptr, "adversary factory returned null");
+
+    SimConfig sim;
+    sim.rule = p.spec->rule;
+    sim.start = p.spec->start;
+    sim.max_rounds = p.spec->max_rounds;
+    sim.seed = seed;
+    const SimResult run = run_broadcast(p.net, p.factory, *adversary, sim);
+
+    TrialRow& row = result.trials[job];
+    row.scenario = p.spec->name;
+    row.trial = static_cast<std::uint32_t>(trial);
+    row.seed = seed;
+    row.completed = run.completed;
+    row.rounds = run.completed ? run.completion_round : kNever;
+    row.rounds_executed = run.rounds_executed;
+    row.sends = run.total_sends;
+    row.collisions = run.total_collision_events;
+
+    if (config.observer) {
+      const std::lock_guard<std::mutex> lock(observer_mutex);
+      config.observer(*p.spec, row, run);
+    }
+  };
+
+  const auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t job = next_job.fetch_add(1, std::memory_order_relaxed);
+      if (job >= total_jobs) return;
+      try {
+        run_one(job);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  unsigned threads = config.threads != 0 ? config.threads
+                                         : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(total_jobs, 1)));
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.summaries.reserve(prepared.size());
+  for (const PreparedScenario& p : prepared) {
+    ScenarioSummary summary;
+    summary.scenario = p.spec->name;
+    summary.trials = p.trials;
+    std::vector<double> rounds;
+    double sends = 0.0, collisions = 0.0;
+    for (std::size_t t = 0; t < p.trials; ++t) {
+      const TrialRow& row = result.trials[p.first_job + t];
+      if (row.completed) {
+        rounds.push_back(static_cast<double>(row.rounds));
+      } else {
+        ++summary.failures;
+      }
+      sends += static_cast<double>(row.sends);
+      collisions += static_cast<double>(row.collisions);
+    }
+    summary.rounds = stats::summarize(std::move(rounds));
+    summary.mean_sends = sends / static_cast<double>(p.trials);
+    summary.mean_collisions = collisions / static_cast<double>(p.trials);
+    result.summaries.push_back(std::move(summary));
+  }
+  return result;
+}
+
+const ScenarioSummary* find_summary(const CampaignResult& result,
+                                    std::string_view name) {
+  for (const ScenarioSummary& s : result.summaries) {
+    if (s.scenario == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace dualrad::campaign

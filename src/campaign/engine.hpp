@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "core/simulator.hpp"
+#include "stats/stats.hpp"
+
+/// \file engine.hpp
+/// The parallel trial executor.
+///
+/// A campaign is the cross product (scenario x trial index). The engine
+/// builds each scenario's network and process factory once, flattens all
+/// trials into one job list, and fans the jobs out over a worker pool.
+/// Determinism contract: every trial's result depends only on
+/// (scenario spec, master seed, trial index) — each trial gets a fresh
+/// adversary from the scenario's factory and a seed from an independent
+/// counter-mixed stream (core/rng.hpp), and results land in preallocated
+/// slots indexed by job id — so campaign output is *bit-identical* for any
+/// worker count, including 1.
+
+namespace dualrad::campaign {
+
+/// One completed trial, in export-ready form. All fields are integral so
+/// CSV/JSONL round-trips are exact.
+struct TrialRow {
+  std::string scenario;
+  std::uint32_t trial = 0;        ///< trial index within the scenario
+  std::uint64_t seed = 0;         ///< derived seed this trial ran under
+  bool completed = false;
+  Round rounds = kNever;          ///< completion round, kNever if not reached
+  Round rounds_executed = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t collisions = 0;   ///< (node, round) pairs with >= 2 arrivals
+
+  friend bool operator==(const TrialRow&, const TrialRow&) = default;
+};
+
+/// Per-scenario aggregate over its trials. Round statistics are over
+/// *completed* trials only; `failures` counts the rest.
+struct ScenarioSummary {
+  std::string scenario;
+  std::size_t trials = 0;
+  std::size_t failures = 0;
+  stats::Summary rounds{};        ///< count == trials - failures
+  double mean_sends = 0.0;        ///< over all trials
+  double mean_collisions = 0.0;   ///< over all trials
+};
+
+struct CampaignResult {
+  /// All trial rows, ordered (scenario registration order, trial index).
+  std::vector<TrialRow> trials;
+  /// One summary per scenario, in scenario order.
+  std::vector<ScenarioSummary> summaries;
+};
+
+struct CampaignConfig {
+  std::uint64_t master_seed = 1;
+  /// Worker threads; 0 means hardware_concurrency (at least 1). The result
+  /// does not depend on this.
+  unsigned threads = 0;
+  /// When nonzero, overrides every scenario's trial count.
+  std::size_t trials_override = 0;
+  /// Optional per-trial observer with access to the full SimResult (e.g. for
+  /// audits that need first_token). Called from worker threads but
+  /// serialized by the engine; completion order is scheduling-dependent, so
+  /// observers must fold results order-independently.
+  std::function<void(const Scenario& scenario, const TrialRow& row,
+                     const SimResult& result)>
+      observer;
+};
+
+/// Seed stream of a scenario under a master seed: mixes the master with an
+/// FNV-1a hash of the name, so a scenario's trials are independent of which
+/// other scenarios run alongside it.
+[[nodiscard]] std::uint64_t scenario_stream(std::uint64_t master_seed,
+                                            std::string_view name);
+
+/// The simulator seed of one trial.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t master_seed,
+                                       std::string_view name,
+                                       std::size_t trial);
+
+/// Run all trials of all scenarios. Throws std::invalid_argument on an
+/// ill-formed scenario; exceptions thrown inside trials are rethrown after
+/// the pool drains.
+[[nodiscard]] CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
+                                          const CampaignConfig& config = {});
+
+/// Summary lookup by scenario name; nullptr if absent.
+[[nodiscard]] const ScenarioSummary* find_summary(const CampaignResult& result,
+                                                  std::string_view name);
+
+}  // namespace dualrad::campaign

@@ -1,0 +1,221 @@
+#include "campaign/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/registry.hpp"
+
+namespace dualrad::campaign {
+
+namespace {
+
+[[nodiscard]] std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Scenario names are validated to a quote-free charset (registry.hpp), so
+/// embedding them verbatim in JSON and CSV is safe; enforce it here for rows
+/// constructed outside a registry.
+void require_exportable(const std::string& name) {
+  DUALRAD_REQUIRE(is_valid_scenario_name(name),
+                  "scenario name not exportable: " + name);
+}
+
+[[nodiscard]] std::string_view field(std::string_view line,
+                                     std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  DUALRAD_REQUIRE(at != std::string_view::npos,
+                  "JSONL line missing key '" + std::string(key) + "'");
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    DUALRAD_REQUIRE(end != std::string_view::npos,
+                    "unterminated string in JSONL line");
+  } else {
+    end = line.find_first_of(",}", begin);
+    DUALRAD_REQUIRE(end != std::string_view::npos, "malformed JSONL line");
+  }
+  return line.substr(begin, end - begin);
+}
+
+[[nodiscard]] long long to_ll(std::string_view s) {
+  try {
+    return std::stoll(std::string(s));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("dualrad: non-numeric field: " +
+                                std::string(s));
+  }
+}
+
+[[nodiscard]] std::uint64_t to_u64(std::string_view s) {
+  try {
+    return std::stoull(std::string(s));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("dualrad: non-numeric field: " +
+                                std::string(s));
+  }
+}
+
+[[nodiscard]] std::vector<std::string> split(const std::string& line,
+                                             char sep) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, sep)) out.push_back(cell);
+  return out;
+}
+
+}  // namespace
+
+std::string trials_to_jsonl(const std::vector<TrialRow>& rows) {
+  std::string out;
+  for (const TrialRow& r : rows) {
+    require_exportable(r.scenario);
+    out += "{\"scenario\":\"" + r.scenario + "\"";
+    out += ",\"trial\":" + std::to_string(r.trial);
+    out += ",\"seed\":" + std::to_string(r.seed);
+    out += std::string(",\"completed\":") + (r.completed ? "true" : "false");
+    out += ",\"rounds\":" + std::to_string(r.rounds);
+    out += ",\"rounds_executed\":" + std::to_string(r.rounds_executed);
+    out += ",\"sends\":" + std::to_string(r.sends);
+    out += ",\"collisions\":" + std::to_string(r.collisions);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string trials_to_csv(const std::vector<TrialRow>& rows) {
+  std::string out =
+      "scenario,trial,seed,completed,rounds,rounds_executed,sends,"
+      "collisions\n";
+  for (const TrialRow& r : rows) {
+    require_exportable(r.scenario);
+    out += r.scenario;
+    out += ',' + std::to_string(r.trial);
+    out += ',' + std::to_string(r.seed);
+    out += ',' + std::string(r.completed ? "1" : "0");
+    out += ',' + std::to_string(r.rounds);
+    out += ',' + std::to_string(r.rounds_executed);
+    out += ',' + std::to_string(r.sends);
+    out += ',' + std::to_string(r.collisions);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string summaries_to_jsonl(const std::vector<ScenarioSummary>& summaries) {
+  std::string out;
+  for (const ScenarioSummary& s : summaries) {
+    require_exportable(s.scenario);
+    const bool any = s.rounds.count > 0;
+    const auto stat = [&](double v) { return fmt_double(any ? v : -1.0); };
+    out += "{\"scenario\":\"" + s.scenario + "\"";
+    out += ",\"trials\":" + std::to_string(s.trials);
+    out += ",\"failures\":" + std::to_string(s.failures);
+    out += ",\"mean_rounds\":" + stat(s.rounds.mean);
+    out += ",\"stddev_rounds\":" + stat(s.rounds.stddev);
+    out += ",\"min_rounds\":" + stat(s.rounds.min);
+    out += ",\"max_rounds\":" + stat(s.rounds.max);
+    out += ",\"median_rounds\":" + stat(s.rounds.median);
+    out += ",\"p90_rounds\":" + stat(s.rounds.p90);
+    out += ",\"mean_sends\":" + fmt_double(s.mean_sends);
+    out += ",\"mean_collisions\":" + fmt_double(s.mean_collisions);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string summaries_to_csv(const std::vector<ScenarioSummary>& summaries) {
+  std::string out =
+      "scenario,trials,failures,mean_rounds,stddev_rounds,min_rounds,"
+      "max_rounds,median_rounds,p90_rounds,mean_sends,mean_collisions\n";
+  for (const ScenarioSummary& s : summaries) {
+    require_exportable(s.scenario);
+    const bool any = s.rounds.count > 0;
+    const auto stat = [&](double v) { return fmt_double(any ? v : -1.0); };
+    out += s.scenario;
+    out += ',' + std::to_string(s.trials);
+    out += ',' + std::to_string(s.failures);
+    out += ',' + stat(s.rounds.mean);
+    out += ',' + stat(s.rounds.stddev);
+    out += ',' + stat(s.rounds.min);
+    out += ',' + stat(s.rounds.max);
+    out += ',' + stat(s.rounds.median);
+    out += ',' + stat(s.rounds.p90);
+    out += ',' + fmt_double(s.mean_sends);
+    out += ',' + fmt_double(s.mean_collisions);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TrialRow> trials_from_jsonl(const std::string& text) {
+  std::vector<TrialRow> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TrialRow r;
+    r.scenario = std::string(field(line, "scenario"));
+    r.trial = static_cast<std::uint32_t>(to_u64(field(line, "trial")));
+    r.seed = to_u64(field(line, "seed"));
+    const std::string_view completed = field(line, "completed");
+    DUALRAD_REQUIRE(completed == "true" || completed == "false",
+                    "completed must be true/false");
+    r.completed = completed == "true";
+    r.rounds = to_ll(field(line, "rounds"));
+    r.rounds_executed = to_ll(field(line, "rounds_executed"));
+    r.sends = to_u64(field(line, "sends"));
+    r.collisions = to_u64(field(line, "collisions"));
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<TrialRow> trials_from_csv(const std::string& text) {
+  std::vector<TrialRow> rows;
+  std::istringstream in(text);
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      DUALRAD_REQUIRE(line.rfind("scenario,trial,seed,", 0) == 0,
+                      "unexpected trial CSV header: " + line);
+      header = false;
+      continue;
+    }
+    const std::vector<std::string> cells = split(line, ',');
+    DUALRAD_REQUIRE(cells.size() == 8, "trial CSV row needs 8 cells: " + line);
+    TrialRow r;
+    r.scenario = cells[0];
+    r.trial = static_cast<std::uint32_t>(to_u64(cells[1]));
+    r.seed = to_u64(cells[2]);
+    DUALRAD_REQUIRE(cells[3] == "0" || cells[3] == "1",
+                    "completed must be 0/1");
+    r.completed = cells[3] == "1";
+    r.rounds = to_ll(cells[4]);
+    r.rounds_executed = to_ll(cells[5]);
+    r.sends = to_u64(cells[6]);
+    r.collisions = to_u64(cells[7]);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("dualrad: cannot open " + path);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  if (!out) throw std::runtime_error("dualrad: write failed: " + path);
+}
+
+}  // namespace dualrad::campaign

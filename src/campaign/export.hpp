@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+
+/// \file export.hpp
+/// Serialization of campaign results: JSONL (one object per line) and CSV,
+/// for per-trial rows and per-scenario summaries, plus parsers for the trial
+/// formats (used by round-trip tests and downstream tooling).
+///
+/// Output is a pure function of the rows: fixed key order, fixed number
+/// formatting ("%.*g" for doubles, decimal for integers), "\n" line endings.
+/// Combined with the engine's determinism contract this makes whole exported
+/// files bit-identical across runs and worker counts.
+
+namespace dualrad::campaign {
+
+/// Per-trial JSONL. Keys per line: scenario, trial, seed, completed, rounds,
+/// rounds_executed, sends, collisions.
+[[nodiscard]] std::string trials_to_jsonl(const std::vector<TrialRow>& rows);
+
+/// Per-trial CSV with header
+/// scenario,trial,seed,completed,rounds,rounds_executed,sends,collisions.
+[[nodiscard]] std::string trials_to_csv(const std::vector<TrialRow>& rows);
+
+/// Per-scenario summary JSONL. Keys: scenario, trials, failures,
+/// mean_rounds, stddev_rounds, min_rounds, max_rounds, median_rounds,
+/// p90_rounds, mean_sends, mean_collisions. Round statistics are -1 when no
+/// trial completed.
+[[nodiscard]] std::string summaries_to_jsonl(
+    const std::vector<ScenarioSummary>& summaries);
+
+[[nodiscard]] std::string summaries_to_csv(
+    const std::vector<ScenarioSummary>& summaries);
+
+/// Inverse of trials_to_jsonl. Throws std::invalid_argument on malformed
+/// input (missing key, non-numeric field).
+[[nodiscard]] std::vector<TrialRow> trials_from_jsonl(const std::string& text);
+
+/// Inverse of trials_to_csv (expects the header line).
+[[nodiscard]] std::vector<TrialRow> trials_from_csv(const std::string& text);
+
+/// Write `content` to `path` (truncating). Throws std::runtime_error on I/O
+/// failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace dualrad::campaign

@@ -1,0 +1,59 @@
+#include "campaign/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dualrad::campaign {
+
+bool is_valid_scenario_name(std::string_view name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+           c == '_' || c == '/' || c == '+' || c == ':' || c == '=' ||
+           c == '-';
+  });
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  DUALRAD_REQUIRE(is_valid_scenario_name(scenario.name),
+                  "scenario name must be non-empty over [A-Za-z0-9._/+:=-]");
+  DUALRAD_REQUIRE(!contains(scenario.name),
+                  "scenario name already registered: " + scenario.name);
+  DUALRAD_REQUIRE(static_cast<bool>(scenario.network),
+                  "scenario needs a network builder");
+  DUALRAD_REQUIRE(static_cast<bool>(scenario.algorithm),
+                  "scenario needs an algorithm builder");
+  DUALRAD_REQUIRE(static_cast<bool>(scenario.adversary),
+                  "scenario needs an adversary factory");
+  DUALRAD_REQUIRE(scenario.trials >= 1, "scenario needs at least one trial");
+  DUALRAD_REQUIRE(scenario.max_rounds >= 1, "max_rounds must be positive");
+  scenarios_.push_back(std::move(scenario));
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  return std::any_of(scenarios_.begin(), scenarios_.end(),
+                     [&](const Scenario& s) { return s.name == name; });
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("dualrad: unknown scenario: " +
+                              std::string(name));
+}
+
+std::vector<Scenario> ScenarioRegistry::match(std::string_view filter) const {
+  std::vector<Scenario> out;
+  for (const Scenario& s : scenarios_) {
+    const bool hit =
+        filter.empty() || s.name.find(filter) != std::string::npos ||
+        std::any_of(s.tags.begin(), s.tags.end(), [&](const std::string& t) {
+          return t.find(filter) != std::string::npos;
+        });
+    if (hit) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace dualrad::campaign

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+/// \file registry.hpp
+/// The scenario registry: a named, ordered collection of Scenarios.
+///
+/// Registration order is preserved (it defines the row order of campaign
+/// output); names are unique and validated so they can be embedded verbatim
+/// in CSV and JSONL. The built-in catalogue (builtin_scenarios.hpp) registers
+/// the standard paper workloads; benches and tools may register more.
+
+namespace dualrad::campaign {
+
+/// True iff `name` is non-empty and uses only [A-Za-z0-9._/+:=-].
+[[nodiscard]] bool is_valid_scenario_name(std::string_view name);
+
+class ScenarioRegistry {
+ public:
+  /// Register a scenario. Throws std::invalid_argument if the name is
+  /// invalid, already registered, or any builder is unset.
+  void add(Scenario scenario);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Throws std::invalid_argument if absent.
+  [[nodiscard]] const Scenario& at(std::string_view name) const;
+
+  /// All scenarios, in registration order.
+  [[nodiscard]] const std::vector<Scenario>& all() const { return scenarios_; }
+
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+  /// Scenarios whose name or any tag contains `filter` (case-sensitive
+  /// substring). An empty filter matches everything. Registration order.
+  [[nodiscard]] std::vector<Scenario> match(std::string_view filter) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace dualrad::campaign

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/harmonic.hpp"
+#include "algorithms/round_robin_bcast.hpp"
+#include "campaign/builtin_scenarios.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/export.hpp"
+#include "campaign/registry.hpp"
+#include "graph/dual_builders.hpp"
+
+namespace dualrad::campaign {
+namespace {
+
+Scenario cheap_scenario(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  s.network = [] { return duals::layered_complete_gprime(4, 3); };
+  s.algorithm = [](const DualGraph& net) {
+    return make_harmonic_factory(net.node_count(), {.eps = 0.2});
+  };
+  s.adversary = make_seeded_adversary_factory<BernoulliAdversary>(0.4);
+  s.max_rounds = 500'000;
+  s.trials = 4;
+  return s;
+}
+
+std::vector<Scenario> cheap_campaign() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(cheap_scenario("test/harmonic/bernoulli"));
+  Scenario greedy = cheap_scenario("test/harmonic/greedy");
+  greedy.adversary = make_adversary_factory<GreedyBlockerAdversary>();
+  scenarios.push_back(greedy);
+  Scenario rr = cheap_scenario("test/round-robin/benign");
+  rr.algorithm = [](const DualGraph& net) {
+    return make_round_robin_factory(net.node_count());
+  };
+  rr.adversary = make_adversary_factory<BenignAdversary>();
+  rr.trials = 2;
+  scenarios.push_back(rr);
+  return scenarios;
+}
+
+// --- engine determinism ------------------------------------------------------
+
+TEST(CampaignEngine, JsonlByteIdenticalAcrossWorkerCounts) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  std::string baseline_trials, baseline_summaries;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    CampaignConfig config;
+    config.master_seed = 99;
+    config.threads = threads;
+    const CampaignResult result = run_campaign(scenarios, config);
+    const std::string trials = trials_to_jsonl(result.trials);
+    const std::string summaries = summaries_to_jsonl(result.summaries);
+    if (threads == 1) {
+      baseline_trials = trials;
+      baseline_summaries = summaries;
+      EXPECT_FALSE(trials.empty());
+    } else {
+      EXPECT_EQ(trials, baseline_trials) << "threads=" << threads;
+      EXPECT_EQ(summaries, baseline_summaries) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(CampaignEngine, RowOrderIsScenarioThenTrial) {
+  const CampaignResult result = run_campaign(cheap_campaign(), {});
+  ASSERT_EQ(result.trials.size(), 4u + 4u + 2u);
+  std::size_t i = 0;
+  for (const char* name : {"test/harmonic/bernoulli", "test/harmonic/greedy",
+                           "test/round-robin/benign"}) {
+    for (std::uint32_t t = 0;
+         i < result.trials.size() && result.trials[i].scenario == name;
+         ++t, ++i) {
+      EXPECT_EQ(result.trials[i].trial, t);
+    }
+  }
+  EXPECT_EQ(i, result.trials.size());
+}
+
+TEST(CampaignEngine, TrialSeedsAreDerivedStreams) {
+  const CampaignResult result = run_campaign(cheap_campaign(), {});
+  std::set<std::uint64_t> seeds;
+  for (const TrialRow& row : result.trials) {
+    EXPECT_EQ(row.seed, trial_seed(1, row.scenario, row.trial));
+    seeds.insert(row.seed);
+  }
+  EXPECT_EQ(seeds.size(), result.trials.size()) << "trial seeds must differ";
+  // A scenario's stream does not depend on which other scenarios run.
+  EXPECT_EQ(trial_seed(1, "test/harmonic/greedy", 0),
+            trial_seed(1, "test/harmonic/greedy", 0));
+  EXPECT_NE(trial_seed(1, "test/harmonic/greedy", 0),
+            trial_seed(2, "test/harmonic/greedy", 0));
+}
+
+TEST(CampaignEngine, MasterSeedChangesRandomizedResults) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("test/seeded")};
+  CampaignConfig a, b;
+  a.master_seed = 1;
+  b.master_seed = 2;
+  const std::string ja = trials_to_jsonl(run_campaign(scenarios, a).trials);
+  const std::string jb = trials_to_jsonl(run_campaign(scenarios, b).trials);
+  EXPECT_NE(ja, jb);
+}
+
+// Each trial must get a *fresh* adversary: one instance, one execution.
+TEST(CampaignEngine, AdversaryFactoryCalledOncePerTrial) {
+  struct Counters {
+    int constructed = 0;
+    int reused = 0;  // instances whose on_execution_start ran twice
+  };
+  struct CountingAdversary : BenignAdversary {
+    explicit CountingAdversary(Counters* c) : counters(c) { ++c->constructed; }
+    void on_execution_start(const DualGraph& net) override {
+      BenignAdversary::on_execution_start(net);
+      if (++starts > 1) ++counters->reused;
+    }
+    Counters* counters;
+    int starts = 0;
+  };
+
+  Counters counters;
+  Scenario s = cheap_scenario("test/fresh-adversary");
+  s.trials = 6;
+  s.adversary = [&counters](std::uint64_t) {
+    return std::make_unique<CountingAdversary>(&counters);
+  };
+  (void)run_campaign({s}, {});
+  EXPECT_EQ(counters.constructed, 6);
+  EXPECT_EQ(counters.reused, 0);
+}
+
+TEST(CampaignEngine, TrialsOverrideAndSummaryAccounting) {
+  CampaignConfig config;
+  config.trials_override = 2;
+  const CampaignResult result = run_campaign(cheap_campaign(), config);
+  EXPECT_EQ(result.trials.size(), 3u * 2u);
+  ASSERT_EQ(result.summaries.size(), 3u);
+  for (const ScenarioSummary& summary : result.summaries) {
+    EXPECT_EQ(summary.trials, 2u);
+    EXPECT_EQ(summary.rounds.count + summary.failures, summary.trials);
+  }
+  EXPECT_NE(find_summary(result, "test/harmonic/greedy"), nullptr);
+  EXPECT_EQ(find_summary(result, "no/such/scenario"), nullptr);
+}
+
+TEST(CampaignEngine, ObserverSeesEveryTrialWithFullSimResult) {
+  Scenario s = cheap_scenario("test/observed");
+  s.trials = 3;
+  CampaignConfig config;
+  config.threads = 4;
+  std::set<std::uint32_t> seen;
+  config.observer = [&seen](const Scenario& scenario, const TrialRow& row,
+                            const SimResult& result) {
+    EXPECT_EQ(scenario.name, "test/observed");
+    EXPECT_EQ(result.completed, row.completed);
+    EXPECT_FALSE(result.first_token.empty());
+    seen.insert(row.trial);
+  };
+  (void)run_campaign({s}, config);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// Duplicate names would share a seed stream and collide in find_summary;
+// the engine rejects them even when the caller bypassed a registry.
+TEST(CampaignEngine, RejectsDuplicateScenarioNames) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("test/twin"),
+                                           cheap_scenario("test/twin")};
+  EXPECT_THROW((void)run_campaign(scenarios, {}), std::invalid_argument);
+}
+
+TEST(CampaignEngine, TrialExceptionsPropagate) {
+  Scenario s = cheap_scenario("test/throwing");
+  s.adversary = [](std::uint64_t) -> std::unique_ptr<Adversary> {
+    throw std::runtime_error("adversary construction failed");
+  };
+  EXPECT_THROW((void)run_campaign({s}, {}), std::runtime_error);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+  ScenarioRegistry registry;
+  registry.add(cheap_scenario("test/unique"));
+  EXPECT_THROW(registry.add(cheap_scenario("test/unique")),
+               std::invalid_argument);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ScenarioRegistry, RejectsInvalidNamesAndMissingBuilders) {
+  ScenarioRegistry registry;
+  EXPECT_THROW(registry.add(cheap_scenario("")), std::invalid_argument);
+  EXPECT_THROW(registry.add(cheap_scenario("has space")),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add(cheap_scenario("has\"quote")),
+               std::invalid_argument);
+  Scenario no_adversary = cheap_scenario("test/no-adversary");
+  no_adversary.adversary = nullptr;
+  EXPECT_THROW(registry.add(no_adversary), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, MatchFiltersByNameAndTag) {
+  ScenarioRegistry registry;
+  Scenario a = cheap_scenario("test/alpha");
+  a.tags = {"quick"};
+  Scenario b = cheap_scenario("test/beta");
+  b.tags = {"slow"};
+  registry.add(a);
+  registry.add(b);
+  EXPECT_EQ(registry.match("").size(), 2u);
+  EXPECT_EQ(registry.match("alpha").size(), 1u);
+  EXPECT_EQ(registry.match("slow").size(), 1u);
+  EXPECT_EQ(registry.match("slow").front().name, "test/beta");
+  EXPECT_TRUE(registry.match("nope").empty());
+  EXPECT_EQ(registry.at("test/alpha").name, "test/alpha");
+  EXPECT_THROW((void)registry.at("test/gamma"), std::invalid_argument);
+}
+
+TEST(BuiltinScenarios, CatalogueHasAtLeastTwelveValidScenarios) {
+  const ScenarioRegistry registry = builtin_registry();
+  EXPECT_GE(registry.size(), 12u);
+  for (const Scenario& s : registry.all()) {
+    EXPECT_TRUE(is_valid_scenario_name(s.name)) << s.name;
+    EXPECT_TRUE(static_cast<bool>(s.network)) << s.name;
+    EXPECT_TRUE(static_cast<bool>(s.algorithm)) << s.name;
+    EXPECT_TRUE(static_cast<bool>(s.adversary)) << s.name;
+  }
+}
+
+TEST(BuiltinScenarios, QuickSubsetRunsToCompletion) {
+  const ScenarioRegistry registry = builtin_registry();
+  CampaignConfig config;
+  config.trials_override = 1;
+  const CampaignResult result = run_campaign(registry.match("quick"), config);
+  ASSERT_GE(result.summaries.size(), 4u);
+  for (const ScenarioSummary& summary : result.summaries) {
+    EXPECT_EQ(summary.failures, 0u) << summary.scenario;
+  }
+}
+
+// --- export round trips ------------------------------------------------------
+
+TEST(CampaignExport, JsonlRoundTripsTrialRows) {
+  const CampaignResult result = run_campaign(cheap_campaign(), {});
+  const std::string jsonl = trials_to_jsonl(result.trials);
+  EXPECT_EQ(trials_from_jsonl(jsonl), result.trials);
+}
+
+TEST(CampaignExport, CsvRoundTripsTrialRows) {
+  const CampaignResult result = run_campaign(cheap_campaign(), {});
+  const std::string csv = trials_to_csv(result.trials);
+  EXPECT_EQ(trials_from_csv(csv), result.trials);
+}
+
+TEST(CampaignExport, RoundTripsIncompleteTrials) {
+  std::vector<TrialRow> rows(1);
+  rows[0].scenario = "test/failed";
+  rows[0].trial = 7;
+  rows[0].seed = 0xFFFF'FFFF'FFFF'FFFFULL;
+  rows[0].completed = false;
+  rows[0].rounds = kNever;
+  rows[0].rounds_executed = 100'000;
+  rows[0].sends = 123;
+  rows[0].collisions = 45;
+  EXPECT_EQ(trials_from_jsonl(trials_to_jsonl(rows)), rows);
+  EXPECT_EQ(trials_from_csv(trials_to_csv(rows)), rows);
+}
+
+TEST(CampaignExport, ParsersRejectMalformedInput) {
+  EXPECT_THROW((void)trials_from_jsonl("{\"scenario\":\"x\"}\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)trials_from_csv("not,the,header\n1,2,3\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)trials_from_csv(
+                   "scenario,trial,seed,completed,rounds,rounds_executed,"
+                   "sends,collisions\na,0,1,1,2\n"),
+               std::invalid_argument);
+}
+
+TEST(CampaignExport, SummariesSerializeFailuresAsMinusOne) {
+  ScenarioSummary all_failed;
+  all_failed.scenario = "test/all-failed";
+  all_failed.trials = 3;
+  all_failed.failures = 3;
+  const std::string jsonl = summaries_to_jsonl({all_failed});
+  EXPECT_NE(jsonl.find("\"mean_rounds\":-1"), std::string::npos);
+  const std::string csv = summaries_to_csv({all_failed});
+  EXPECT_NE(csv.find("test/all-failed,3,3,-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dualrad::campaign

@@ -1,0 +1,187 @@
+// dualrad_campaign — run registered experiment campaigns on the parallel
+// trial executor.
+//
+// Examples:
+//   dualrad_campaign --list
+//   dualrad_campaign --list --filter=harmonic
+//   dualrad_campaign --filter=dual --threads=8 --seed=42
+//               --jsonl=trials.jsonl --summary-csv=summary.csv
+//
+// Runs the cross product (scenario x trial) across worker threads with
+// deterministic per-trial seeding: for a fixed --seed, all output files are
+// byte-identical regardless of --threads.
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "campaign/builtin_scenarios.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/export.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace dualrad;
+
+struct Options {
+  bool list = false;
+  bool quiet = false;
+  bool help = false;
+  std::string filter;
+  std::uint64_t seed = 1;
+  unsigned threads = 0;
+  std::size_t trials = 0;  // 0 = per-scenario default
+  std::string jsonl_path;
+  std::string csv_path;
+  std::string summary_jsonl_path;
+  std::string summary_csv_path;
+};
+
+void usage() {
+  std::puts(
+      "usage: dualrad_campaign [options]\n"
+      "  --list              list matching scenarios instead of running\n"
+      "  --filter=SUBSTR     restrict to scenarios whose name or tags\n"
+      "                      contain SUBSTR (default: all)\n"
+      "  --seed=N            master seed (default 1)\n"
+      "  --threads=N         worker threads (default: hardware concurrency;\n"
+      "                      output is identical for any value)\n"
+      "  --trials=N          override every scenario's trial count\n"
+      "  --jsonl=PATH        write per-trial rows as JSONL\n"
+      "  --csv=PATH          write per-trial rows as CSV\n"
+      "  --summary-jsonl=PATH  write per-scenario summaries as JSONL\n"
+      "  --summary-csv=PATH    write per-scenario summaries as CSV\n"
+      "  --quiet             suppress the summary table on stdout\n");
+}
+
+std::optional<Options> parse(int argc, char** argv) try {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::optional<std::string> {
+      const std::string p(prefix);
+      if (arg.rfind(p, 0) == 0) return arg.substr(p.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (auto v = value("--filter=")) {
+      options.filter = *v;
+    } else if (auto v = value("--seed=")) {
+      options.seed = std::stoull(*v);
+    } else if (auto v = value("--threads=")) {
+      options.threads = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--trials=")) {
+      options.trials = std::stoul(*v);
+    } else if (auto v = value("--jsonl=")) {
+      options.jsonl_path = *v;
+    } else if (auto v = value("--csv=")) {
+      options.csv_path = *v;
+    } else if (auto v = value("--summary-jsonl=")) {
+      options.summary_jsonl_path = *v;
+    } else if (auto v = value("--summary-csv=")) {
+      options.summary_csv_path = *v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+} catch (const std::exception&) {
+  std::fprintf(stderr, "malformed numeric argument\n");
+  return std::nullopt;
+}
+
+void list_scenarios(const std::vector<campaign::Scenario>& scenarios) {
+  stats::Table table({"scenario", "trials", "rule", "start", "tags"});
+  for (const campaign::Scenario& s : scenarios) {
+    std::string tags;
+    for (const std::string& t : s.tags) {
+      if (!tags.empty()) tags += ',';
+      tags += t;
+    }
+    table.add_row({s.name, std::to_string(s.trials), to_string(s.rule),
+                   to_string(s.start), tags});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << scenarios.size() << " scenario(s)\n";
+}
+
+void print_summaries(const campaign::CampaignResult& result) {
+  stats::Table table({"scenario", "trials", "failed", "mean rounds", "median",
+                      "p90", "mean sends"});
+  for (const campaign::ScenarioSummary& s : result.summaries) {
+    const bool any = s.rounds.count > 0;
+    table.add_row({s.scenario, std::to_string(s.trials),
+                   std::to_string(s.failures),
+                   any ? stats::Table::num(s.rounds.mean, 1) : "-",
+                   any ? stats::Table::num(s.rounds.median, 1) : "-",
+                   any ? stats::Table::num(s.rounds.p90, 1) : "-",
+                   stats::Table::num(s.mean_sends, 1)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed.has_value()) {
+    usage();
+    return 2;
+  }
+  const Options& options = *parsed;
+  if (options.help) {
+    usage();
+    return 0;
+  }
+  try {
+    const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+    const std::vector<campaign::Scenario> scenarios =
+        registry.match(options.filter);
+    if (scenarios.empty()) {
+      std::fprintf(stderr, "no scenario matches filter '%s'\n",
+                   options.filter.c_str());
+      return 1;
+    }
+    if (options.list) {
+      list_scenarios(scenarios);
+      return 0;
+    }
+
+    campaign::CampaignConfig config;
+    config.master_seed = options.seed;
+    config.threads = options.threads;
+    config.trials_override = options.trials;
+    const campaign::CampaignResult result =
+        campaign::run_campaign(scenarios, config);
+
+    if (!options.jsonl_path.empty()) {
+      campaign::write_file(options.jsonl_path,
+                           campaign::trials_to_jsonl(result.trials));
+    }
+    if (!options.csv_path.empty()) {
+      campaign::write_file(options.csv_path,
+                           campaign::trials_to_csv(result.trials));
+    }
+    if (!options.summary_jsonl_path.empty()) {
+      campaign::write_file(options.summary_jsonl_path,
+                           campaign::summaries_to_jsonl(result.summaries));
+    }
+    if (!options.summary_csv_path.empty()) {
+      campaign::write_file(options.summary_csv_path,
+                           campaign::summaries_to_csv(result.summaries));
+    }
+    if (!options.quiet) print_summaries(result);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
