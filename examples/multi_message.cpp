@@ -1,0 +1,64 @@
+// Multi-message quickstart: k tokens at k sources, BMMB over the DecayMac
+// abstract MAC layer, per-token coverage and measured MAC latencies.
+//
+//   $ ./example_multi_message
+//
+// Walks through the MAC-layer API: spread_token_sources,
+// SimConfig::token_sources, make_bmmb_factory, SimResult::token_first, and
+// measure_mac_latency.
+
+#include <cstdio>
+
+#include "adversary/basic_adversaries.hpp"
+#include "core/simulator.hpp"
+#include "graph/dual_builders.hpp"
+#include "mac/bmmb.hpp"
+#include "mac/mac_latency.hpp"
+
+int main() {
+  using namespace dualrad;
+
+  // The layered dual network: reliable layer-to-layer links, complete
+  // unreliable overlay.
+  const DualGraph net = duals::layered_complete_gprime(8, 4);
+  const NodeId n = net.node_count();
+
+  // Four broadcast tokens, originating at four spread sources (token 1 at
+  // the network source). Completion = every process holds every token.
+  const TokenId k = 4;
+  SimConfig config;
+  config.token_sources = mac::spread_token_sources(net, k);
+  config.max_rounds = 500'000;
+
+  // Each unreliable edge fires with probability 1/2 per round.
+  BernoulliAdversary adversary(0.5, /*seed=*/2026);
+
+  // BMMB: every process relays each token it obtains exactly once; the
+  // DecayMac layer below resolves all channel contention.
+  const SimResult result =
+      run_broadcast(net, mac::make_bmmb_factory(n), adversary, config);
+
+  std::printf("network: n=%d, k=%d tokens, completed=%s in %lld rounds\n", n,
+              k, result.completed ? "yes" : "no",
+              static_cast<long long>(result.completion_round));
+  for (TokenId t = 0; t < result.token_count(); ++t) {
+    Round last = 0;
+    for (Round r : result.token_first[static_cast<std::size_t>(t)]) {
+      if (r != kNever && r > last) last = r;
+    }
+    std::printf("  token %d from node %d: everyone covered by round %lld\n",
+                t + 1, config.token_sources[static_cast<std::size_t>(t)],
+                static_cast<long long>(last));
+  }
+
+  // The measured abstract-MAC latencies: f_ack from the processes' exported
+  // metrics, f_prog reconstructed from the per-token coverage.
+  const mac::MacLatencySummary latency = mac::measure_mac_latency(net, result);
+  std::printf(
+      "mac contract: %llu acks, f_ack max=%.0f mean=%.1f; "
+      "f_prog max=%lld mean=%.1f over %llu samples\n",
+      static_cast<unsigned long long>(latency.acks), latency.ack_max,
+      latency.ack_mean, static_cast<long long>(latency.prog_max),
+      latency.prog_mean, static_cast<unsigned long long>(latency.prog_samples));
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "algorithms/uniform_gossip.hpp"
 #include "graph/dual_builders.hpp"
 #include "graph/generators.hpp"
+#include "mac/mac_scenarios.hpp"
 
 namespace dualrad::campaign {
 
@@ -254,6 +255,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
                 .adversary = greedy(),
                 .max_rounds = 100'000,
                 .trials = 3});
+
+  // --- Multi-message broadcast over the abstract MAC layer (src/mac/). ---
+  mac::register_mac_scenarios(registry);
 }
 
 ScenarioRegistry builtin_registry() {

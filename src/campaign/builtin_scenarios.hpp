@@ -3,17 +3,19 @@
 #include "campaign/registry.hpp"
 
 /// \file builtin_scenarios.hpp
-/// The standard scenario catalogue: the paper's Table 1 / Table 2 workloads
-/// and the realistic dual-graph families, as registered campaign scenarios.
+/// The standard scenario catalogue: the paper's Table 1 / Table 2 workloads,
+/// the realistic dual-graph families, and the multi-message MAC-layer suite
+/// (src/mac/mac_scenarios.hpp), as registered campaign scenarios.
 ///
 /// Naming convention: <model>/<algorithm>/<network>/<adversary>, where model
-/// is "classical" (G == G') or "dual". Tags include the model, the algorithm
-/// family ("deterministic"/"randomized"), and the paper anchor ("table1",
-/// "table2", "section7", ...).
+/// is "classical" (G == G'), "dual", or "mac" (multi-message over the
+/// abstract MAC layer). Tags include the model, the algorithm family
+/// ("deterministic"/"randomized"), and the paper anchor ("table1", "table2",
+/// "section7", ...).
 
 namespace dualrad::campaign {
 
-/// Register the built-in catalogue (>= 12 scenarios) into `registry`.
+/// Register the built-in catalogue (>= 18 scenarios) into `registry`.
 /// Throws if any name collides with an already-registered scenario.
 void register_builtin_scenarios(ScenarioRegistry& registry);
 

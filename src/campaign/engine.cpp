@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <set>
@@ -110,7 +111,12 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
     sim.start = p.spec->start;
     sim.max_rounds = p.spec->max_rounds;
     sim.seed = seed;
-    const SimResult run = run_broadcast(p.net, p.factory, *adversary, sim);
+    sim.token_sources = p.spec->token_sources;
+    const auto started = std::chrono::steady_clock::now();
+    const SimResult run =
+        p.spec->runner ? p.spec->runner(p.net, p.factory, *adversary, sim)
+                       : run_broadcast(p.net, p.factory, *adversary, sim);
+    const auto elapsed = std::chrono::steady_clock::now() - started;
 
     TrialRow& row = result.trials[job];
     row.scenario = p.spec->name;
@@ -121,6 +127,12 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
     row.rounds_executed = run.rounds_executed;
     row.sends = run.total_sends;
     row.collisions = run.total_collision_events;
+    row.tokens = std::max<std::int32_t>(run.token_count(), 1);
+    if (config.measure_wall_time) {
+      row.wall_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count();
+    }
 
     if (config.observer) {
       const std::lock_guard<std::mutex> lock(observer_mutex);
@@ -165,7 +177,7 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
     summary.scenario = p.spec->name;
     summary.trials = p.trials;
     std::vector<double> rounds;
-    double sends = 0.0, collisions = 0.0;
+    double sends = 0.0, collisions = 0.0, wall_us = 0.0;
     for (std::size_t t = 0; t < p.trials; ++t) {
       const TrialRow& row = result.trials[p.first_job + t];
       if (row.completed) {
@@ -175,10 +187,14 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
       }
       sends += static_cast<double>(row.sends);
       collisions += static_cast<double>(row.collisions);
+      wall_us += static_cast<double>(row.wall_us);
     }
     summary.rounds = stats::summarize(std::move(rounds));
     summary.mean_sends = sends / static_cast<double>(p.trials);
     summary.mean_collisions = collisions / static_cast<double>(p.trials);
+    if (config.measure_wall_time) {
+      summary.mean_wall_ms = wall_us / 1000.0 / static_cast<double>(p.trials);
+    }
     result.summaries.push_back(std::move(summary));
   }
   return result;

@@ -35,6 +35,12 @@ struct TrialRow {
   Round rounds_executed = 0;
   std::uint64_t sends = 0;
   std::uint64_t collisions = 0;   ///< (node, round) pairs with >= 2 arrivals
+  std::int32_t tokens = 1;        ///< broadcast tokens in the execution
+  /// Wall time of the trial in microseconds; -1 unless
+  /// CampaignConfig::measure_wall_time was set. Deliberately OUTSIDE the
+  /// determinism contract: it varies run to run and is only exported when
+  /// explicitly requested (export.hpp `include_timing`).
+  std::int64_t wall_us = -1;
 
   friend bool operator==(const TrialRow&, const TrialRow&) = default;
 };
@@ -48,6 +54,8 @@ struct ScenarioSummary {
   stats::Summary rounds{};        ///< count == trials - failures
   double mean_sends = 0.0;        ///< over all trials
   double mean_collisions = 0.0;   ///< over all trials
+  /// Mean trial wall time in milliseconds; -1 unless measured.
+  double mean_wall_ms = -1.0;
 };
 
 struct CampaignResult {
@@ -64,6 +72,10 @@ struct CampaignConfig {
   unsigned threads = 0;
   /// When nonzero, overrides every scenario's trial count.
   std::size_t trials_override = 0;
+  /// Record per-trial wall time into TrialRow::wall_us (and summary
+  /// mean_wall_ms). Off by default because timing is inherently
+  /// nondeterministic; simulation results are unaffected either way.
+  bool measure_wall_time = false;
   /// Optional per-trial observer with access to the full SimResult (e.g. for
   /// audits that need first_token). Called from worker threads but
   /// serialized by the engine; completion order is scheduling-dependent, so

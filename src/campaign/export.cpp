@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "campaign/registry.hpp"
 
@@ -25,12 +27,11 @@ void require_exportable(const std::string& name) {
                   "scenario name not exportable: " + name);
 }
 
-[[nodiscard]] std::string_view field(std::string_view line,
-                                     std::string_view key) {
+[[nodiscard]] std::optional<std::string_view> field_opt(std::string_view line,
+                                                        std::string_view key) {
   const std::string needle = "\"" + std::string(key) + "\":";
   const std::size_t at = line.find(needle);
-  DUALRAD_REQUIRE(at != std::string_view::npos,
-                  "JSONL line missing key '" + std::string(key) + "'");
+  if (at == std::string_view::npos) return std::nullopt;
   std::size_t begin = at + needle.size();
   std::size_t end = begin;
   if (begin < line.size() && line[begin] == '"') {
@@ -43,6 +44,14 @@ void require_exportable(const std::string& name) {
     DUALRAD_REQUIRE(end != std::string_view::npos, "malformed JSONL line");
   }
   return line.substr(begin, end - begin);
+}
+
+[[nodiscard]] std::string_view field(std::string_view line,
+                                     std::string_view key) {
+  const std::optional<std::string_view> value = field_opt(line, key);
+  DUALRAD_REQUIRE(value.has_value(),
+                  "JSONL line missing key '" + std::string(key) + "'");
+  return *value;
 }
 
 [[nodiscard]] long long to_ll(std::string_view s) {
@@ -74,7 +83,8 @@ void require_exportable(const std::string& name) {
 
 }  // namespace
 
-std::string trials_to_jsonl(const std::vector<TrialRow>& rows) {
+std::string trials_to_jsonl(const std::vector<TrialRow>& rows,
+                            bool include_timing) {
   std::string out;
   for (const TrialRow& r : rows) {
     require_exportable(r.scenario);
@@ -86,15 +96,20 @@ std::string trials_to_jsonl(const std::vector<TrialRow>& rows) {
     out += ",\"rounds_executed\":" + std::to_string(r.rounds_executed);
     out += ",\"sends\":" + std::to_string(r.sends);
     out += ",\"collisions\":" + std::to_string(r.collisions);
+    out += ",\"tokens\":" + std::to_string(r.tokens);
+    if (include_timing) out += ",\"wall_us\":" + std::to_string(r.wall_us);
     out += "}\n";
   }
   return out;
 }
 
-std::string trials_to_csv(const std::vector<TrialRow>& rows) {
+std::string trials_to_csv(const std::vector<TrialRow>& rows,
+                          bool include_timing) {
   std::string out =
       "scenario,trial,seed,completed,rounds,rounds_executed,sends,"
-      "collisions\n";
+      "collisions,tokens";
+  if (include_timing) out += ",wall_us";
+  out += '\n';
   for (const TrialRow& r : rows) {
     require_exportable(r.scenario);
     out += r.scenario;
@@ -105,12 +120,15 @@ std::string trials_to_csv(const std::vector<TrialRow>& rows) {
     out += ',' + std::to_string(r.rounds_executed);
     out += ',' + std::to_string(r.sends);
     out += ',' + std::to_string(r.collisions);
+    out += ',' + std::to_string(r.tokens);
+    if (include_timing) out += ',' + std::to_string(r.wall_us);
     out += '\n';
   }
   return out;
 }
 
-std::string summaries_to_jsonl(const std::vector<ScenarioSummary>& summaries) {
+std::string summaries_to_jsonl(const std::vector<ScenarioSummary>& summaries,
+                               bool include_timing) {
   std::string out;
   for (const ScenarioSummary& s : summaries) {
     require_exportable(s.scenario);
@@ -127,15 +145,19 @@ std::string summaries_to_jsonl(const std::vector<ScenarioSummary>& summaries) {
     out += ",\"p90_rounds\":" + stat(s.rounds.p90);
     out += ",\"mean_sends\":" + fmt_double(s.mean_sends);
     out += ",\"mean_collisions\":" + fmt_double(s.mean_collisions);
+    if (include_timing) out += ",\"mean_wall_ms\":" + fmt_double(s.mean_wall_ms);
     out += "}\n";
   }
   return out;
 }
 
-std::string summaries_to_csv(const std::vector<ScenarioSummary>& summaries) {
+std::string summaries_to_csv(const std::vector<ScenarioSummary>& summaries,
+                             bool include_timing) {
   std::string out =
       "scenario,trials,failures,mean_rounds,stddev_rounds,min_rounds,"
-      "max_rounds,median_rounds,p90_rounds,mean_sends,mean_collisions\n";
+      "max_rounds,median_rounds,p90_rounds,mean_sends,mean_collisions";
+  if (include_timing) out += ",mean_wall_ms";
+  out += '\n';
   for (const ScenarioSummary& s : summaries) {
     require_exportable(s.scenario);
     const bool any = s.rounds.count > 0;
@@ -151,6 +173,7 @@ std::string summaries_to_csv(const std::vector<ScenarioSummary>& summaries) {
     out += ',' + stat(s.rounds.p90);
     out += ',' + fmt_double(s.mean_sends);
     out += ',' + fmt_double(s.mean_collisions);
+    if (include_timing) out += ',' + fmt_double(s.mean_wall_ms);
     out += '\n';
   }
   return out;
@@ -162,6 +185,7 @@ std::vector<TrialRow> trials_from_jsonl(const std::string& text) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    DUALRAD_REQUIRE(line.back() == '}', "truncated JSONL line: " + line);
     TrialRow r;
     r.scenario = std::string(field(line, "scenario"));
     r.trial = static_cast<std::uint32_t>(to_u64(field(line, "trial")));
@@ -174,6 +198,11 @@ std::vector<TrialRow> trials_from_jsonl(const std::string& text) {
     r.rounds_executed = to_ll(field(line, "rounds_executed"));
     r.sends = to_u64(field(line, "sends"));
     r.collisions = to_u64(field(line, "collisions"));
+    // Optional keys: absent in exports predating multi-message / timing.
+    const std::optional<std::string_view> tokens = field_opt(line, "tokens");
+    r.tokens = tokens.has_value() ? static_cast<std::int32_t>(to_ll(*tokens)) : 1;
+    const std::optional<std::string_view> wall = field_opt(line, "wall_us");
+    r.wall_us = wall.has_value() ? to_ll(*wall) : -1;
     rows.push_back(std::move(r));
   }
   return rows;
@@ -184,16 +213,26 @@ std::vector<TrialRow> trials_from_csv(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   bool header = true;
+  // Column count announced by the header: 8 (legacy), 9 (+tokens), or
+  // 10 (+wall_us). Every row must match it exactly.
+  std::size_t columns = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (header) {
-      DUALRAD_REQUIRE(line.rfind("scenario,trial,seed,", 0) == 0,
-                      "unexpected trial CSV header: " + line);
+      DUALRAD_REQUIRE(
+          line.rfind("scenario,trial,seed,completed,rounds,rounds_executed,"
+                     "sends,collisions",
+                     0) == 0,
+          "unexpected trial CSV header: " + line);
+      columns = split(line, ',').size();
+      DUALRAD_REQUIRE(columns >= 8 && columns <= 10,
+                      "unexpected trial CSV column count: " + line);
       header = false;
       continue;
     }
     const std::vector<std::string> cells = split(line, ',');
-    DUALRAD_REQUIRE(cells.size() == 8, "trial CSV row needs 8 cells: " + line);
+    DUALRAD_REQUIRE(cells.size() == columns,
+                    "trial CSV row does not match the header: " + line);
     TrialRow r;
     r.scenario = cells[0];
     r.trial = static_cast<std::uint32_t>(to_u64(cells[1]));
@@ -205,6 +244,8 @@ std::vector<TrialRow> trials_from_csv(const std::string& text) {
     r.rounds_executed = to_ll(cells[5]);
     r.sends = to_u64(cells[6]);
     r.collisions = to_u64(cells[7]);
+    if (columns >= 9) r.tokens = static_cast<std::int32_t>(to_ll(cells[8]));
+    if (columns >= 10) r.wall_us = to_ll(cells[9]);
     rows.push_back(std::move(r));
   }
   return rows;

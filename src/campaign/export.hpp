@@ -18,28 +18,37 @@
 namespace dualrad::campaign {
 
 /// Per-trial JSONL. Keys per line: scenario, trial, seed, completed, rounds,
-/// rounds_executed, sends, collisions.
-[[nodiscard]] std::string trials_to_jsonl(const std::vector<TrialRow>& rows);
+/// rounds_executed, sends, collisions, tokens — plus wall_us when
+/// `include_timing` is set. Timing is opt-in because wall time varies run to
+/// run: files written without it stay byte-identical across worker counts
+/// and machines (the determinism contract); files written with it do not.
+[[nodiscard]] std::string trials_to_jsonl(const std::vector<TrialRow>& rows,
+                                          bool include_timing = false);
 
 /// Per-trial CSV with header
-/// scenario,trial,seed,completed,rounds,rounds_executed,sends,collisions.
-[[nodiscard]] std::string trials_to_csv(const std::vector<TrialRow>& rows);
+/// scenario,trial,seed,completed,rounds,rounds_executed,sends,collisions,
+/// tokens[,wall_us]. Same timing opt-in as trials_to_jsonl.
+[[nodiscard]] std::string trials_to_csv(const std::vector<TrialRow>& rows,
+                                        bool include_timing = false);
 
 /// Per-scenario summary JSONL. Keys: scenario, trials, failures,
 /// mean_rounds, stddev_rounds, min_rounds, max_rounds, median_rounds,
-/// p90_rounds, mean_sends, mean_collisions. Round statistics are -1 when no
-/// trial completed.
+/// p90_rounds, mean_sends, mean_collisions — plus mean_wall_ms when
+/// `include_timing` is set. Round statistics are -1 when no trial completed.
 [[nodiscard]] std::string summaries_to_jsonl(
-    const std::vector<ScenarioSummary>& summaries);
+    const std::vector<ScenarioSummary>& summaries, bool include_timing = false);
 
 [[nodiscard]] std::string summaries_to_csv(
-    const std::vector<ScenarioSummary>& summaries);
+    const std::vector<ScenarioSummary>& summaries, bool include_timing = false);
 
 /// Inverse of trials_to_jsonl. Throws std::invalid_argument on malformed
-/// input (missing key, non-numeric field).
+/// input (missing key, truncated line, non-numeric field). The tokens and
+/// wall_us keys are optional on input (defaults 1 and -1) so pre-multi-token
+/// and untimed exports keep parsing.
 [[nodiscard]] std::vector<TrialRow> trials_from_jsonl(const std::string& text);
 
-/// Inverse of trials_to_csv (expects the header line).
+/// Inverse of trials_to_csv (expects the header line; accepts the legacy
+/// 8-column, the 9-column, and the timed 10-column layouts).
 [[nodiscard]] std::vector<TrialRow> trials_from_csv(const std::string& text);
 
 /// Write `content` to `path` (truncating). Throws std::runtime_error on I/O

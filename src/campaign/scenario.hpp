@@ -9,6 +9,7 @@
 
 #include "core/adversary.hpp"
 #include "core/process.hpp"
+#include "core/simulator.hpp"
 #include "core/types.hpp"
 #include "graph/dual_graph.hpp"
 
@@ -41,6 +42,15 @@ using AlgorithmBuilder = std::function<ProcessFactory(const DualGraph& net)>;
 using AdversaryFactory =
     std::function<std::unique_ptr<Adversary>(std::uint64_t seed)>;
 
+/// Optional replacement for the engine's default trial body (one
+/// run_broadcast execution). Harnesses whose logical trial wraps several
+/// executions — e.g. the repeated-broadcast learning pipeline — implement
+/// one here and return a SimResult-shaped digest for the TrialRow. Must be
+/// a pure function of its arguments (the determinism contract).
+using TrialRunner =
+    std::function<SimResult(const DualGraph& net, const ProcessFactory& factory,
+                            Adversary& adversary, const SimConfig& config)>;
+
 struct Scenario {
   /// Unique registry key, e.g. "dual/harmonic/layered/greedy". Restricted to
   /// [A-Za-z0-9._/+:=-] so exported CSV/JSONL never needs quoting.
@@ -53,10 +63,15 @@ struct Scenario {
   NetworkBuilder network;
   AlgorithmBuilder algorithm;
   AdversaryFactory adversary;
+  /// Empty: the engine runs one run_broadcast execution per trial.
+  TrialRunner runner{};
 
   CollisionRule rule = CollisionRule::CR4;
   StartRule start = StartRule::Asynchronous;
   Round max_rounds = 10'000'000;
+  /// Multi-message broadcast sources (SimConfig::token_sources); empty means
+  /// the classic single token at the network source.
+  std::vector<NodeId> token_sources{};
   std::size_t trials = 5;
 };
 

@@ -28,8 +28,9 @@ struct AdversaryView {
   const DualGraph* net = nullptr;
   /// node -> process id (the proc mapping currently in force).
   const std::vector<ProcessId>* process_of_node = nullptr;
-  /// node -> whether the process there already holds the broadcast token
-  /// (state *before* this round's deliveries).
+  /// node -> whether the process there already holds at least one broadcast
+  /// token (state *before* this round's deliveries). In the single-message
+  /// problem this is exactly "holds the broadcast token".
   const std::vector<bool>* covered = nullptr;
   Round round = 0;
 };

@@ -16,15 +16,62 @@ std::string at(Round round, NodeId node) {
 }  // namespace
 
 AuditReport audit_execution(const DualGraph& net, const SimResult& result,
-                            CollisionRule rule) {
+                            CollisionRule rule,
+                            const std::vector<NodeId>& token_sources) {
   AuditReport report;
   if (result.trace.level != TraceLevel::Full) {
     report.fail("audit requires a full trace");
     return report;
   }
   const NodeId n = net.node_count();
-  std::vector<Round> token_seen(static_cast<std::size_t>(n), kNever);
-  token_seen[static_cast<std::size_t>(net.source())] = 0;
+  if (result.token_first.empty()) {
+    report.fail("result has no per-token coverage data");
+    return report;
+  }
+  // first_token is the single-message view of token_first[0]; a result where
+  // they disagree is internally inconsistent.
+  if (result.first_token != result.token_first.front()) {
+    report.fail("first_token does not match token_first[0]");
+  }
+  // Per-token first-reception reconstruction. The only legitimate round-0
+  // holder of a token is its environment source — exactly one node per
+  // token, and a known one when the caller pins it — so a result claiming
+  // extra (or missing) round-0 coverage fails here rather than becoming
+  // ground truth. Everything later must be justified by a traced delivery.
+  const std::size_t k = result.token_first.size();
+  std::vector<std::vector<Round>> token_seen(
+      k, std::vector<Round>(static_cast<std::size_t>(n), kNever));
+  for (std::size_t t = 0; t < k; ++t) {
+    NodeId holder = kInvalidNode;
+    int holders = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (result.token_first[t][static_cast<std::size_t>(v)] == 0) {
+        holder = v;
+        ++holders;
+      }
+    }
+    NodeId expected = kInvalidNode;
+    if (t < token_sources.size()) {
+      expected = token_sources[t];
+    } else if (k == 1 && token_sources.empty()) {
+      expected = net.source();
+    }
+    if (holders != 1) {
+      report.fail("token " + std::to_string(t + 1) + " has " +
+                  std::to_string(holders) + " round-0 holders (want 1)");
+    } else if (expected != kInvalidNode && holder != expected) {
+      report.fail("token " + std::to_string(t + 1) + " originates at node " +
+                  std::to_string(holder) + ", expected " +
+                  std::to_string(expected));
+    } else {
+      token_seen[t][static_cast<std::size_t>(holder)] = 0;
+    }
+  }
+  const auto holds = [&](TokenId tok, NodeId v) {
+    return tok != kNoToken && static_cast<std::size_t>(tok) <= k &&
+           token_seen[static_cast<std::size_t>(tok - 1)]
+                     [static_cast<std::size_t>(v)] != kNever;
+  };
 
   for (const auto& record : result.trace.rounds) {
     // Reconstruct arrivals.
@@ -51,10 +98,10 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                       "reliable edge skipped to " + std::to_string(v));
         }
       }
-      if (sender.message.token &&
-          token_seen[static_cast<std::size_t>(sender.node)] == kNever) {
+      if (sender.message.token != kNoToken &&
+          !holds(sender.message.token, sender.node)) {
         report.fail(at(record.round, sender.node) +
-                    "transmitted the token without holding it");
+                    "transmitted a token without holding it");
       }
     }
 
@@ -102,18 +149,24 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
           }
           break;
       }
-      if (rec.has_token() && token_seen[uv] == kNever) {
-        token_seen[uv] = record.round;
+      if (rec.has_token() &&
+          static_cast<std::size_t>(rec.message->token) <= k) {
+        auto& seen = token_seen[static_cast<std::size_t>(rec.message->token - 1)];
+        if (seen[uv] == kNever) seen[uv] = record.round;
       }
     }
   }
 
-  for (NodeId v = 0; v < n; ++v) {
-    const auto uv = static_cast<std::size_t>(v);
-    if (result.first_token[uv] != token_seen[uv]) {
-      report.fail("first_token mismatch at node " + std::to_string(v) +
-                  ": result says " + std::to_string(result.first_token[uv]) +
-                  ", trace says " + std::to_string(token_seen[uv]));
+  for (std::size_t t = 0; t < k; ++t) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (result.token_first[t][uv] != token_seen[t][uv]) {
+        report.fail("token " + std::to_string(t + 1) +
+                    " first-reception mismatch at node " + std::to_string(v) +
+                    ": result says " +
+                    std::to_string(result.token_first[t][uv]) +
+                    ", trace says " + std::to_string(token_seen[t][uv]));
+      }
     }
   }
   return report;

@@ -30,14 +30,19 @@ struct AuditReport {
 ///  - every G-out-neighbor of every sender is reached (reliable edges
 ///    always deliver);
 ///  - no duplicate reach entries;
-///  - no process transmits the broadcast token before holding it;
+///  - no process transmits a broadcast token before holding it;
 ///  - every token reception is justified by a reaching token message;
-///  - SimResult::first_token matches the trace;
+///  - each token has exactly one round-0 holder — its environment source.
+///    Pass `token_sources` (SimConfig::token_sources) to pin which node
+///    that must be per token; when empty, the single-token case is checked
+///    against net.source() and multi-token sources are only checked for
+///    uniqueness;
+///  - SimResult::first_token / token_first match the trace;
 ///  - reception kinds are consistent with arrival counts under the rule
 ///    (collision notifications only under CR1/CR2; a non-sender message
 ///    reception requires that message to have arrived).
-[[nodiscard]] AuditReport audit_execution(const DualGraph& net,
-                                          const SimResult& result,
-                                          CollisionRule rule);
+[[nodiscard]] AuditReport audit_execution(
+    const DualGraph& net, const SimResult& result, CollisionRule rule,
+    const std::vector<NodeId>& token_sources = {});
 
 }  // namespace dualrad::audit

@@ -9,18 +9,21 @@
 /// The message type exchanged by processes.
 ///
 /// The broadcast problem treats the payload as a black box (Section 3): the
-/// only distinguished property is whether a message carries the broadcast
-/// token. Algorithms may additionally attach a small amount of structured
+/// only distinguished property is which broadcast token (if any) a message
+/// carries. Algorithms may additionally attach a small amount of structured
 /// content (a round tag, as in the footnote of Section 5, plus free bits);
 /// the simulator and the lower-bound constructions compare messages by value.
 
 namespace dualrad {
 
 struct Message {
-  /// True iff this message carries the broadcast payload ("the message" of
-  /// the broadcast problem). Receiving any message with token=true makes the
-  /// receiver covered.
-  bool token = false;
+  /// The broadcast token this message carries, or kNoToken. In the
+  /// single-message broadcast problem the only token is kBroadcastToken
+  /// (== 1), so the historical `Message{/*token=*/true, ...}` spelling keeps
+  /// working: `true` promotes to token id 1. Multi-message executions
+  /// (src/mac/) use ids 1..k. Receiving a message with token id t makes the
+  /// receiver covered for t.
+  TokenId token = kNoToken;
 
   /// Process id of the sender. Part of the content (processes know their own
   /// ids and may include them in messages).

@@ -3,6 +3,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/message.hpp"
 #include "core/reception.hpp"
@@ -35,6 +37,15 @@
 /// round number.
 namespace dualrad {
 
+/// One named scalar a process exports at the end of an execution (see
+/// Process::final_metrics). Layered protocols (e.g. the abstract MAC layer,
+/// src/mac/) use these to surface internal measurements — ack latencies,
+/// queue depths — that the plain broadcast result cannot express.
+struct ProcessMetric {
+  std::string name;
+  double value = 0.0;
+};
+
 /// What a process does at the start of a round.
 struct Action {
   bool send = false;
@@ -66,6 +77,14 @@ class Process {
   /// Deep copy (same id, same state). Required for execution branching in
   /// the lower-bound harnesses.
   [[nodiscard]] virtual std::unique_ptr<Process> clone() const = 0;
+
+  /// Optional end-of-execution metrics. The simulator collects these into
+  /// SimResult::process_metrics after the last round, so observers (campaign
+  /// exports, benches) can read protocol-internal measurements without
+  /// holding the process objects. Default: none.
+  [[nodiscard]] virtual std::vector<ProcessMetric> final_metrics() const {
+    return {};
+  }
 
  protected:
   explicit Process(ProcessId id) : id_(id) {

@@ -38,9 +38,9 @@ struct Reception {
   [[nodiscard]] bool is_message() const {
     return kind == ReceptionKind::Message;
   }
-  /// True iff a message carrying the broadcast token was delivered.
+  /// True iff a message carrying some broadcast token was delivered.
   [[nodiscard]] bool has_token() const {
-    return is_message() && message->token;
+    return is_message() && message->token != kNoToken;
   }
 
   friend bool operator==(const Reception&, const Reception&) = default;

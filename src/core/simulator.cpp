@@ -53,24 +53,50 @@ SimResult Simulator::run() {
                   "factory produced process with wrong id");
   }
 
-  std::vector<bool> awake(un, false);
-  std::vector<bool> covered(un, false);
-  result.first_token.assign(un, kNever);
+  // Token sources: the classic problem injects kBroadcastToken at the
+  // network source; multi-message executions inject token i+1 at
+  // token_sources[i] (all distinct).
+  std::vector<NodeId> sources = config_.token_sources;
+  if (sources.empty()) sources.push_back(net_.source());
+  const auto k = sources.size();
+  {
+    std::vector<bool> seen(un, false);
+    for (NodeId s : sources) {
+      DUALRAD_REQUIRE(s >= 0 && s < n, "token source out of range");
+      DUALRAD_REQUIRE(!seen[static_cast<std::size_t>(s)],
+                      "token sources must be distinct");
+      seen[static_cast<std::size_t>(s)] = true;
+    }
+  }
 
-  // Environment input: the broadcast message arrives at the source process
-  // prior to round 1 (Section 3).
-  const NodeId src = net_.source();
-  const Message env_msg{/*token=*/true, /*origin=*/kInvalidProcess,
-                        /*round_tag=*/0, /*payload=*/0};
-  covered[static_cast<std::size_t>(src)] = true;
-  result.first_token[static_cast<std::size_t>(src)] = 0;
-  proc_at[static_cast<std::size_t>(src)]->on_activate(0, env_msg);
-  awake[static_cast<std::size_t>(src)] = true;
+  std::vector<bool> awake(un, false);
+  // covered[v]: the process at v holds at least one token (what the
+  // adversary view exposes); holds[t*n + v]: it holds token id t+1.
+  std::vector<bool> covered(un, false);
+  std::vector<bool> holds(k * un, false);
+  result.token_first.assign(k, std::vector<Round>(un, kNever));
+
+  // Environment input: each token arrives at its source process prior to
+  // round 1 (Section 3).
+  std::size_t held_count = 0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto src = static_cast<std::size_t>(sources[t]);
+    const Message env_msg{/*token=*/static_cast<TokenId>(t + 1),
+                          /*origin=*/kInvalidProcess,
+                          /*round_tag=*/0, /*payload=*/0};
+    covered[src] = true;
+    holds[t * un + src] = true;
+    result.token_first[t][src] = 0;
+    ++held_count;
+    proc_at[src]->on_activate(0, env_msg);
+    awake[src] = true;
+  }
   if (config_.start == StartRule::Synchronous) {
     for (NodeId v = 0; v < n; ++v) {
-      if (v == src) continue;
-      proc_at[static_cast<std::size_t>(v)]->on_activate(0, std::nullopt);
-      awake[static_cast<std::size_t>(v)] = true;
+      const auto uv = static_cast<std::size_t>(v);
+      if (awake[uv]) continue;
+      proc_at[uv]->on_activate(0, std::nullopt);
+      awake[uv] = true;
     }
   }
 
@@ -83,7 +109,7 @@ SimResult Simulator::run() {
   std::vector<std::vector<Message>> arrivals(un);
   std::vector<Reception> receptions(un);
 
-  NodeId covered_count = 1;
+  const std::size_t all_held = k * un;
 
   for (Round round = 1; round <= config_.max_rounds; ++round) {
     result.rounds_executed = round;
@@ -95,8 +121,12 @@ SimResult Simulator::run() {
       if (!awake[uv]) continue;
       const Action action = proc_at[uv]->next_action(round);
       if (!action.send) continue;
-      DUALRAD_CHECK(!action.message.token || covered[uv],
-                    "process sent the broadcast token without holding it");
+      const TokenId tok = action.message.token;
+      DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
+                    "process sent an unknown token id");
+      DUALRAD_CHECK(tok == kNoToken ||
+                        holds[static_cast<std::size_t>(tok - 1) * un + uv],
+                    "process sent a broadcast token without holding it");
       is_sender[uv] = true;
       sent_msg[uv] = action.message;
       senders.push_back(v);
@@ -191,10 +221,14 @@ SimResult Simulator::run() {
         proc_at[uv]->on_activate(round, rec.message);
         awake[uv] = true;
       }
-      if (rec.has_token() && !covered[uv]) {
+      if (rec.has_token()) {
+        const auto t = static_cast<std::size_t>(rec.message->token - 1);
         covered[uv] = true;
-        result.first_token[uv] = round;
-        ++covered_count;
+        if (!holds[t * un + uv]) {
+          holds[t * un + uv] = true;
+          result.token_first[t][uv] = round;
+          ++held_count;
+        }
       }
     }
 
@@ -208,13 +242,21 @@ SimResult Simulator::run() {
       result.trace.rounds.push_back(std::move(record));
     }
 
-    if (covered_count == n && !result.completed) {
+    if (held_count == all_held && !result.completed) {
       result.completed = true;
       result.completion_round = round;
       if (config_.stop_on_completion) break;
     }
   }
 
+  result.first_token = result.token_first.front();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    for (ProcessMetric& m : proc_at[uv]->final_metrics()) {
+      result.process_metrics.push_back(ProcessMetricSample{
+          v, result.process_of_node[uv], std::move(m.name), m.value});
+    }
+  }
   return result;
 }
 

@@ -20,7 +20,9 @@
 /// asynchronous start, a process is activated by its first received message.
 ///
 /// The broadcast message arrives at the source process from the environment
-/// before round 1 (Section 3).
+/// before round 1 (Section 3). Multi-message executions (the MAC-layer
+/// workloads of src/mac/) instead inject k tokens, one per configured source
+/// node; completion then means every process holds every token.
 
 namespace dualrad {
 
@@ -31,26 +33,52 @@ struct SimConfig {
   /// Master seed; process i receives mix_seed(seed, i).
   std::uint64_t seed = 1;
   TraceLevel trace = TraceLevel::None;
-  /// Stop as soon as every process holds the broadcast token. When false the
+  /// Stop as soon as every process holds every token. When false the
   /// execution runs to max_rounds (useful for termination experiments).
   bool stop_on_completion = true;
+  /// Multi-message broadcast: token_sources[i] is the node where token id
+  /// i+1 originates (distinct nodes; each receives its token from the
+  /// environment before round 1). Empty means the classic single-message
+  /// problem: kBroadcastToken originates at net.source().
+  std::vector<NodeId> token_sources{};
+};
+
+/// One collected Process::final_metrics entry (node identifies the slot,
+/// pid the automaton that ran there).
+struct ProcessMetricSample {
+  NodeId node = kInvalidNode;
+  ProcessId pid = kInvalidProcess;
+  std::string name;
+  double value = 0.0;
 };
 
 struct SimResult {
-  /// True iff every process received the broadcast token.
+  /// True iff every process received every broadcast token.
   bool completed = false;
-  /// First round at whose end all processes were covered (0 if n == 1).
+  /// First round at whose end all processes held all tokens (0 if trivial).
   Round completion_round = kNever;
   Round rounds_executed = 0;
   /// first_token[node]: round at whose end the process at `node` first held
-  /// the token (0 for the source), kNever if it never did.
+  /// token kBroadcastToken (0 for its source), kNever if it never did.
+  /// Identical to token_first[0]; kept as the single-message API.
   std::vector<Round> first_token{};
+  /// token_first[i][node]: round at whose end the process at `node` first
+  /// held token id i+1. token_first.size() == token count (1 when
+  /// SimConfig::token_sources is empty).
+  std::vector<std::vector<Round>> token_first{};
   /// proc mapping used: process_of_node[node] = process id.
   std::vector<ProcessId> process_of_node{};
   std::uint64_t total_sends = 0;
   /// Number of (node, round) pairs at which >= 2 messages reached the node.
   std::uint64_t total_collision_events = 0;
+  /// Process::final_metrics of every process, in node order. Empty unless
+  /// some process exports metrics (e.g. the MAC layer's ack latencies).
+  std::vector<ProcessMetricSample> process_metrics{};
   Trace trace{};
+
+  [[nodiscard]] TokenId token_count() const {
+    return static_cast<TokenId>(token_first.size());
+  }
 };
 
 class Simulator {

@@ -23,9 +23,19 @@ using ProcessId = std::int32_t;
 /// "before the first round" (used e.g. for the source's activation time).
 using Round = std::int64_t;
 
+/// Identifier of a broadcast token (multi-message broadcast, src/mac/).
+/// Token ids are 1-based so that `kNoToken == 0` converts to/from `bool`
+/// exactly like the original single-token flag: `Message{/*token=*/true}`
+/// yields `kBroadcastToken` and `if (msg.token)` means "carries a token".
+/// Single-message executions use the one token `kBroadcastToken`; a
+/// k-message execution uses ids 1..k.
+using TokenId = std::int32_t;
+
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr ProcessId kInvalidProcess = -1;
 inline constexpr Round kNever = -1;
+inline constexpr TokenId kNoToken = 0;
+inline constexpr TokenId kBroadcastToken = 1;
 
 /// Collision rules CR1..CR4 from Section 2.1 of the paper, in order of
 /// decreasing strength (from the algorithm's point of view).

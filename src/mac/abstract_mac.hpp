@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/message.hpp"
+#include "core/types.hpp"
+
+/// \file abstract_mac.hpp
+/// The abstract MAC layer interface, after Kuhn, Lynch & Newport's abstract
+/// MAC layer line of work (and its unreliable-link instantiation in
+/// Ghaffari-Kantor-Lynch-Newport, "Multi-Message Broadcast with Abstract MAC
+/// Layers and Unreliable Links" — see PAPERS.md).
+///
+/// The layer decomposes multi-message protocols into
+///   * a *client* (the high-level algorithm, e.g. basic multi-message
+///     broadcast) that hands messages to the MAC layer and reacts to
+///     deliveries, and
+///   * a *MAC implementation* (e.g. DecayMac, decay_mac.hpp) that resolves
+///     contention on the radio channel and provides two callbacks:
+///       - receive: a message from some nearby process arrived;
+///       - ack: the layer finished broadcasting the client's message to its
+///         reliable neighborhood and is ready for the next one.
+///
+/// The contract is characterized by two latency bounds the client may rely
+/// on: f_ack, the maximum rounds between bcast() and the matching ack, and
+/// f_prog, the maximum rounds a process waits for *some* message while a
+/// reliable neighbor is contending with one it lacks. Implementations in
+/// this repo measure both per execution instead of assuming them: ack
+/// latencies are exported through Process::final_metrics (see
+/// decay_mac.hpp), progress latencies are reconstructed from the
+/// simulator's per-token coverage data (mac_latency.hpp).
+
+namespace dualrad::mac {
+
+/// The MAC layer as seen by its client. Passed into every client callback;
+/// clients must not retain the reference beyond the callback.
+class AbstractMac {
+ public:
+  virtual ~AbstractMac() = default;
+
+  /// Identifier of the process this MAC instance runs on.
+  [[nodiscard]] virtual ProcessId mac_id() const = 0;
+  /// Number of processes in the network.
+  [[nodiscard]] virtual NodeId mac_n() const = 0;
+
+  /// Hand a message to the layer for broadcast to the (reliable)
+  /// neighborhood. Messages are queued FIFO; the layer broadcasts one at a
+  /// time and delivers on_mac_ack when a message's broadcast completes.
+  virtual void bcast(const Message& message) = 0;
+
+  /// Messages handed to bcast() whose ack has not been delivered yet
+  /// (including the one currently on the air).
+  [[nodiscard]] virtual std::size_t pending() const = 0;
+};
+
+/// The algorithm running above the MAC layer. Implementations hold all
+/// client state; they are cloned alongside the hosting process (execution
+/// branching in the lower-bound harnesses).
+class MacClient {
+ public:
+  virtual ~MacClient() = default;
+
+  /// Called once when the hosting process activates. `initial` is the
+  /// environment input (a token message for token sources, nullopt
+  /// otherwise) or, under asynchronous start, the message that woke the
+  /// process — which is *also* delivered here, not via on_mac_receive.
+  virtual void on_mac_start(AbstractMac& mac, Round round,
+                            const std::optional<Message>& initial) = 0;
+
+  /// A message from the network was delivered to this process.
+  virtual void on_mac_receive(AbstractMac& mac, Round round,
+                              const Message& message) = 0;
+
+  /// The layer finished broadcasting `message` (handed to bcast earlier).
+  virtual void on_mac_ack(AbstractMac& mac, Round round,
+                          const Message& message) = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<MacClient> clone() const = 0;
+
+ protected:
+  MacClient() = default;
+  MacClient(const MacClient&) = default;
+};
+
+/// Creates the client for process `id` of `n` with randomness key `seed`.
+/// Must be pure, like ProcessFactory.
+using MacClientFactory = std::function<std::unique_ptr<MacClient>(
+    ProcessId id, NodeId n, std::uint64_t seed)>;
+
+}  // namespace dualrad::mac

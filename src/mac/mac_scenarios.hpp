@@ -1,0 +1,18 @@
+#pragma once
+
+#include "campaign/registry.hpp"
+
+/// \file mac_scenarios.hpp
+/// The multi-message broadcast workloads: BMMB over DecayMac with k tokens
+/// at k spread sources, on the layered and gray-zone families, under the
+/// benign / Bernoulli / greedy-blocker adversaries. Registered into the
+/// built-in catalogue (campaign/builtin_scenarios.cpp) under `mac/...`
+/// names with the "mac" and "multi-message" tags, so
+/// `dualrad_campaign --filter=mac` selects exactly this suite.
+
+namespace dualrad::mac {
+
+/// Register the mac/* scenarios (>= 6) into `registry`.
+void register_mac_scenarios(campaign::ScenarioRegistry& registry);
+
+}  // namespace dualrad::mac

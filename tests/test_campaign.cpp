@@ -258,6 +258,7 @@ TEST(CampaignExport, CsvRoundTripsTrialRows) {
 }
 
 TEST(CampaignExport, RoundTripsIncompleteTrials) {
+  // kNever (= -1) rounds of an uncompleted trial must survive both formats.
   std::vector<TrialRow> rows(1);
   rows[0].scenario = "test/failed";
   rows[0].trial = 7;
@@ -269,6 +270,67 @@ TEST(CampaignExport, RoundTripsIncompleteTrials) {
   rows[0].collisions = 45;
   EXPECT_EQ(trials_from_jsonl(trials_to_jsonl(rows)), rows);
   EXPECT_EQ(trials_from_csv(trials_to_csv(rows)), rows);
+  const std::vector<TrialRow> parsed = trials_from_jsonl(trials_to_jsonl(rows));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].rounds, kNever);
+}
+
+TEST(CampaignExport, RoundTripsMultiTokenAndTimedTrials) {
+  std::vector<TrialRow> rows(1);
+  rows[0].scenario = "test/mac";
+  rows[0].trial = 2;
+  rows[0].seed = 99;
+  rows[0].completed = true;
+  rows[0].rounds = 1234;
+  rows[0].rounds_executed = 1234;
+  rows[0].sends = 500;
+  rows[0].collisions = 7;
+  rows[0].tokens = 16;
+  rows[0].wall_us = 98765;
+  // With timing the full row round-trips.
+  EXPECT_EQ(trials_from_jsonl(trials_to_jsonl(rows, /*include_timing=*/true)),
+            rows);
+  EXPECT_EQ(trials_from_csv(trials_to_csv(rows, /*include_timing=*/true)),
+            rows);
+  // Without timing, wall_us is deliberately dropped (determinism contract);
+  // everything else survives.
+  std::vector<TrialRow> untimed = rows;
+  untimed[0].wall_us = -1;
+  EXPECT_EQ(trials_from_jsonl(trials_to_jsonl(rows)), untimed);
+  EXPECT_EQ(trials_from_csv(trials_to_csv(rows)), untimed);
+}
+
+TEST(CampaignExport, EmptyCampaignsExportAndParseCleanly) {
+  // No scenarios at all: the engine returns an empty result...
+  const CampaignResult result = run_campaign({}, {});
+  EXPECT_TRUE(result.trials.empty());
+  EXPECT_TRUE(result.summaries.empty());
+  // ...JSONL is the empty string, CSV is header-only, and both parse back
+  // to zero rows instead of garbage.
+  EXPECT_EQ(trials_to_jsonl(result.trials), "");
+  EXPECT_TRUE(trials_from_jsonl("").empty());
+  const std::string csv = trials_to_csv(result.trials);
+  EXPECT_EQ(csv,
+            "scenario,trial,seed,completed,rounds,rounds_executed,sends,"
+            "collisions,tokens\n");
+  EXPECT_TRUE(trials_from_csv(csv).empty());
+  EXPECT_EQ(summaries_to_jsonl(result.summaries), "");
+}
+
+TEST(CampaignExport, LegacyExportsWithoutTokensStillParse) {
+  // Files written before the tokens / wall_us columns existed.
+  const std::vector<TrialRow> jsonl_rows = trials_from_jsonl(
+      "{\"scenario\":\"old/row\",\"trial\":0,\"seed\":5,\"completed\":true,"
+      "\"rounds\":10,\"rounds_executed\":10,\"sends\":3,\"collisions\":0}\n");
+  ASSERT_EQ(jsonl_rows.size(), 1u);
+  EXPECT_EQ(jsonl_rows[0].tokens, 1);
+  EXPECT_EQ(jsonl_rows[0].wall_us, -1);
+  const std::vector<TrialRow> csv_rows = trials_from_csv(
+      "scenario,trial,seed,completed,rounds,rounds_executed,sends,"
+      "collisions\nold/row,0,5,1,10,10,3,0\n");
+  ASSERT_EQ(csv_rows.size(), 1u);
+  EXPECT_EQ(csv_rows[0].tokens, 1);
+  EXPECT_EQ(csv_rows[0].wall_us, -1);
 }
 
 TEST(CampaignExport, ParsersRejectMalformedInput) {
@@ -280,6 +342,52 @@ TEST(CampaignExport, ParsersRejectMalformedInput) {
                    "scenario,trial,seed,completed,rounds,rounds_executed,"
                    "sends,collisions\na,0,1,1,2\n"),
                std::invalid_argument);
+}
+
+TEST(CampaignExport, ParsersRejectTruncatedAndNonNumericRows) {
+  // A JSONL line cut off mid-object must throw, not yield a garbage row.
+  const std::string good =
+      "{\"scenario\":\"test/x\",\"trial\":0,\"seed\":5,\"completed\":true,"
+      "\"rounds\":10,\"rounds_executed\":10,\"sends\":3,\"collisions\":0,"
+      "\"tokens\":1}";
+  EXPECT_EQ(trials_from_jsonl(good + "\n").size(), 1u);
+  EXPECT_THROW((void)trials_from_jsonl(good.substr(0, good.size() / 2) + "\n"),
+               std::invalid_argument);
+  // Non-numeric fields must throw in both formats.
+  EXPECT_THROW(
+      (void)trials_from_jsonl(
+          "{\"scenario\":\"test/x\",\"trial\":zero,\"seed\":5,"
+          "\"completed\":true,\"rounds\":10,\"rounds_executed\":10,"
+          "\"sends\":3,\"collisions\":0,\"tokens\":1}\n"),
+      std::invalid_argument);
+  EXPECT_THROW((void)trials_from_csv(
+                   "scenario,trial,seed,completed,rounds,rounds_executed,"
+                   "sends,collisions,tokens\ntest/x,0,5,1,ten,10,3,0,1\n"),
+               std::invalid_argument);
+  // A row with more cells than the header announced is malformed too.
+  EXPECT_THROW((void)trials_from_csv(
+                   "scenario,trial,seed,completed,rounds,rounds_executed,"
+                   "sends,collisions,tokens\ntest/x,0,5,1,10,10,3,0,1,42\n"),
+               std::invalid_argument);
+}
+
+TEST(CampaignEngine, WallTimeMeasuredOnlyOnRequest) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("test/timed")};
+  CampaignConfig off;
+  const CampaignResult untimed = run_campaign(scenarios, off);
+  for (const TrialRow& row : untimed.trials) EXPECT_EQ(row.wall_us, -1);
+  EXPECT_EQ(untimed.summaries.front().mean_wall_ms, -1.0);
+
+  CampaignConfig on;
+  on.measure_wall_time = true;
+  const CampaignResult timed = run_campaign(scenarios, on);
+  for (const TrialRow& row : timed.trials) EXPECT_GE(row.wall_us, 0);
+  EXPECT_GE(timed.summaries.front().mean_wall_ms, 0.0);
+
+  // Timing sits OUTSIDE the determinism contract: the default exports of a
+  // timed run are byte-identical to an untimed run's.
+  EXPECT_EQ(trials_to_jsonl(timed.trials), trials_to_jsonl(untimed.trials));
+  EXPECT_EQ(trials_to_csv(timed.trials), trials_to_csv(untimed.trials));
 }
 
 TEST(CampaignExport, SummariesSerializeFailuresAsMinusOne) {

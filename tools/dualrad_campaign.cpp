@@ -15,10 +15,12 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "campaign/builtin_scenarios.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/export.hpp"
+#include "mac/mac_latency.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -29,6 +31,7 @@ struct Options {
   bool list = false;
   bool quiet = false;
   bool help = false;
+  bool timing = false;
   std::string filter;
   std::uint64_t seed = 1;
   unsigned threads = 0;
@@ -37,6 +40,7 @@ struct Options {
   std::string csv_path;
   std::string summary_jsonl_path;
   std::string summary_csv_path;
+  std::string mac_jsonl_path;
 };
 
 void usage() {
@@ -53,6 +57,12 @@ void usage() {
       "  --csv=PATH          write per-trial rows as CSV\n"
       "  --summary-jsonl=PATH  write per-scenario summaries as JSONL\n"
       "  --summary-csv=PATH    write per-scenario summaries as CSV\n"
+      "  --mac-jsonl=PATH    write per-trial MAC ack/progress latencies as\n"
+      "                      JSONL (measured f_ack / f_prog; rows sorted by\n"
+      "                      scenario and trial, so output is deterministic)\n"
+      "  --timing            measure per-trial wall time and include it in\n"
+      "                      trial/summary exports (wall_us / mean_wall_ms;\n"
+      "                      timed exports are NOT byte-reproducible)\n"
       "  --quiet             suppress the summary table on stdout\n");
 }
 
@@ -71,6 +81,10 @@ std::optional<Options> parse(int argc, char** argv) try {
       options.list = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
+    } else if (arg == "--timing") {
+      options.timing = true;
+    } else if (auto v = value("--mac-jsonl=")) {
+      options.mac_jsonl_path = *v;
     } else if (auto v = value("--filter=")) {
       options.filter = *v;
     } else if (auto v = value("--seed=")) {
@@ -113,19 +127,47 @@ void list_scenarios(const std::vector<campaign::Scenario>& scenarios) {
   std::cout << "\n" << scenarios.size() << " scenario(s)\n";
 }
 
-void print_summaries(const campaign::CampaignResult& result) {
-  stats::Table table({"scenario", "trials", "failed", "mean rounds", "median",
-                      "p90", "mean sends"});
+void print_summaries(const campaign::CampaignResult& result, bool timing) {
+  std::vector<std::string> header = {"scenario", "trials",     "failed",
+                                     "mean rounds", "median", "p90",
+                                     "mean sends"};
+  if (timing) header.push_back("mean ms");
+  stats::Table table(header);
   for (const campaign::ScenarioSummary& s : result.summaries) {
     const bool any = s.rounds.count > 0;
-    table.add_row({s.scenario, std::to_string(s.trials),
-                   std::to_string(s.failures),
-                   any ? stats::Table::num(s.rounds.mean, 1) : "-",
-                   any ? stats::Table::num(s.rounds.median, 1) : "-",
-                   any ? stats::Table::num(s.rounds.p90, 1) : "-",
-                   stats::Table::num(s.mean_sends, 1)});
+    std::vector<std::string> row = {
+        s.scenario, std::to_string(s.trials), std::to_string(s.failures),
+        any ? stats::Table::num(s.rounds.mean, 1) : "-",
+        any ? stats::Table::num(s.rounds.median, 1) : "-",
+        any ? stats::Table::num(s.rounds.p90, 1) : "-",
+        stats::Table::num(s.mean_sends, 1)};
+    if (timing) row.push_back(stats::Table::num(s.mean_wall_ms, 2));
+    table.add_row(row);
   }
   table.print(std::cout);
+}
+
+std::string mac_rows_to_jsonl(const std::vector<mac::TrialLatencyRow>& rows) {
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return std::string(buf);
+  };
+  std::string out;
+  for (const mac::TrialLatencyRow& r : rows) {
+    const mac::MacLatencySummary& l = r.latency;
+    out += "{\"scenario\":\"" + r.scenario + "\"";
+    out += ",\"trial\":" + std::to_string(r.trial);
+    out += ",\"acks\":" + std::to_string(l.acks);
+    out += ",\"ack_max\":" + num(l.ack_max);
+    out += ",\"ack_mean\":" + num(l.ack_mean);
+    out += ",\"prog_samples\":" + std::to_string(l.prog_samples);
+    out += ",\"prog_max\":" + std::to_string(l.prog_max);
+    out += ",\"prog_mean\":" + num(l.prog_mean);
+    out += ",\"unreached\":" + std::to_string(l.unreached);
+    out += "}\n";
+  }
+  return out;
 }
 
 }  // namespace
@@ -159,26 +201,45 @@ int main(int argc, char** argv) {
     config.master_seed = options.seed;
     config.threads = options.threads;
     config.trials_override = options.trials;
+    config.measure_wall_time = options.timing;
+
+    // --mac-jsonl: measure f_ack / f_prog per trial from the full SimResult
+    // (progress latency is meaningful for any broadcast scenario; the ack
+    // columns are -1 outside MAC workloads).
+    std::optional<mac::LatencyCollector> collector;
+    if (!options.mac_jsonl_path.empty()) {
+      collector.emplace(scenarios);
+      collector->attach(config);
+    }
+
     const campaign::CampaignResult result =
         campaign::run_campaign(scenarios, config);
 
     if (!options.jsonl_path.empty()) {
-      campaign::write_file(options.jsonl_path,
-                           campaign::trials_to_jsonl(result.trials));
+      campaign::write_file(
+          options.jsonl_path,
+          campaign::trials_to_jsonl(result.trials, options.timing));
     }
     if (!options.csv_path.empty()) {
-      campaign::write_file(options.csv_path,
-                           campaign::trials_to_csv(result.trials));
+      campaign::write_file(
+          options.csv_path,
+          campaign::trials_to_csv(result.trials, options.timing));
     }
     if (!options.summary_jsonl_path.empty()) {
-      campaign::write_file(options.summary_jsonl_path,
-                           campaign::summaries_to_jsonl(result.summaries));
+      campaign::write_file(
+          options.summary_jsonl_path,
+          campaign::summaries_to_jsonl(result.summaries, options.timing));
     }
     if (!options.summary_csv_path.empty()) {
-      campaign::write_file(options.summary_csv_path,
-                           campaign::summaries_to_csv(result.summaries));
+      campaign::write_file(
+          options.summary_csv_path,
+          campaign::summaries_to_csv(result.summaries, options.timing));
     }
-    if (!options.quiet) print_summaries(result);
+    if (collector.has_value()) {
+      campaign::write_file(options.mac_jsonl_path,
+                           mac_rows_to_jsonl(collector->sorted_rows()));
+    }
+    if (!options.quiet) print_summaries(result, options.timing);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
