@@ -1,0 +1,210 @@
+// Engine-scaling bench: the sparse CSR round engine vs the dense reference
+// engine on the scale/* workloads (Decay broadcast, sparse layered and
+// gray-zone families, n in {1k, 10k, 100k}).
+//
+// For every scale scenario this runs one campaign-seeded trial (master seed
+// 1, trial 0 — the exact execution dualrad_campaign would run) under the
+// production engine, and under the reference engine where n makes that
+// tolerable (n <= 10^4; the reference's O(n)-per-round scans are the point
+// of the comparison). Emits BENCH_engine.json: per (scenario, engine) the
+// completion round, wall time, rounds/sec, and the process peak RSS sampled
+// after the run (Linux ru_maxrss is a high-water mark, so points run in
+// ascending n and the 100k entries dominate the tail), plus a speedup map
+// for every scenario measured under both engines.
+//
+// Usage: bench_engine_scaling [--quick] [--out=PATH]
+//   --quick   skip the n=100k points (CI-friendly, ~seconds)
+//   --out     output path for the JSON report (default BENCH_engine.json)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "campaign/builtin_scenarios.hpp"
+#include "campaign/engine.hpp"
+#include "core/reference_engine.hpp"
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+
+namespace dualrad {
+namespace {
+
+struct Measurement {
+  std::string scenario;
+  std::string engine;
+  NodeId n = 0;
+  bool completed = false;
+  Round rounds = 0;
+  std::uint64_t sends = 0;
+  double wall_ms = 0.0;
+  double rounds_per_sec = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB -> MiB (Linux)
+}
+
+Measurement run_one(const campaign::Scenario& spec, const DualGraph& net,
+                    const ProcessFactory& factory, bool reference) {
+  SimConfig config;
+  config.rule = spec.rule;
+  config.start = spec.start;
+  config.max_rounds = spec.max_rounds;
+  config.seed = campaign::trial_seed(1, spec.name, 0);
+  config.token_sources = spec.token_sources;
+  const auto adversary = spec.adversary(mix_seed(config.seed, 0xAD));
+
+  const auto started = std::chrono::steady_clock::now();
+  const SimResult result =
+      reference ? run_broadcast_reference(net, factory, *adversary, config)
+                : run_broadcast(net, factory, *adversary, config);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  Measurement m;
+  m.scenario = spec.name;
+  m.engine = reference ? "reference" : "csr";
+  m.n = net.node_count();
+  m.completed = result.completed;
+  m.rounds = result.rounds_executed;
+  m.sends = result.total_sends;
+  m.wall_ms = seconds * 1e3;
+  m.rounds_per_sec =
+      seconds > 0 ? static_cast<double>(result.rounds_executed) / seconds : 0;
+  m.peak_rss_mb = peak_rss_mb();
+  return m;
+}
+
+// Scenario names are [A-Za-z0-9._/+:=-], so they embed in JSON unescaped.
+void write_json(const std::string& path,
+                const std::vector<Measurement>& measurements,
+                const std::map<std::string, double>& speedups) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"engine_scaling\",\n  \"measurements\": [\n";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"scenario\": \"%s\", \"engine\": \"%s\", \"n\": %d, "
+                  "\"completed\": %s, \"rounds\": %lld, \"sends\": %llu, "
+                  "\"wall_ms\": %.3f, \"rounds_per_sec\": %.1f, "
+                  "\"peak_rss_mb\": %.1f}%s\n",
+                  m.scenario.c_str(), m.engine.c_str(),
+                  m.n, m.completed ? "true" : "false",
+                  static_cast<long long>(m.rounds),
+                  static_cast<unsigned long long>(m.sends), m.wall_ms,
+                  m.rounds_per_sec, m.peak_rss_mb,
+                  i + 1 < measurements.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"speedup_rounds_per_sec\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, speedup] : speedups) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "    \"%s\": %.2f%s\n", name.c_str(),
+                  speedup, i + 1 < speedups.size() ? "," : "");
+    out << buf;
+    ++i;
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+}  // namespace dualrad
+
+int main(int argc, char** argv) {
+  using namespace dualrad;
+
+  bool quick = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_engine_scaling [--quick] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  benchutil::print_header(
+      "ENGINE", "sparse CSR engine vs dense reference engine",
+      "rounds/sec gap grows with n; >= 5x on the 10k benign points");
+
+  const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+  std::vector<campaign::Scenario> points = registry.match("scale");
+  // Run the smallest n first so the peak-RSS column (a process-wide
+  // high-water mark) attributes growth to the right point.
+  const auto size_rank = [](const campaign::Scenario& s) {
+    if (s.name.find("-100k/") != std::string::npos) return 2;
+    if (s.name.find("-10k/") != std::string::npos) return 1;
+    return 0;
+  };
+  std::stable_sort(points.begin(), points.end(),
+                   [&](const auto& a, const auto& b) {
+                     return size_rank(a) < size_rank(b);
+                   });
+
+  std::vector<Measurement> measurements;
+  std::map<std::string, double> speedups;
+  stats::Table table({"scenario", "n", "engine", "rounds", "wall ms",
+                      "rounds/s", "peak RSS MB"});
+  for (const campaign::Scenario& spec : points) {
+    bool slow = false;
+    for (const std::string& tag : spec.tags) slow = slow || tag == "slow";
+    if (quick && slow) continue;
+
+    const DualGraph net = spec.network();
+    const ProcessFactory factory = spec.algorithm(net);
+
+    const Measurement fast = run_one(spec, net, factory, /*reference=*/false);
+    measurements.push_back(fast);
+    table.add_row({fast.scenario, std::to_string(fast.n), fast.engine,
+                   std::to_string(fast.rounds),
+                   stats::Table::num(fast.wall_ms, 1),
+                   stats::Table::num(fast.rounds_per_sec, 0),
+                   stats::Table::num(fast.peak_rss_mb, 1)});
+    if (!fast.completed) {
+      std::cerr << "warning: " << fast.scenario
+                << " hit the round cap under the csr engine\n";
+    }
+
+    // The dense engine's O(n) rounds make 100k points minutes-slow; the
+    // comparison points are the 1k and 10k grid.
+    if (size_rank(spec) <= 1) {
+      const Measurement ref = run_one(spec, net, factory, /*reference=*/true);
+      measurements.push_back(ref);
+      table.add_row({ref.scenario, std::to_string(ref.n), ref.engine,
+                     std::to_string(ref.rounds),
+                     stats::Table::num(ref.wall_ms, 1),
+                     stats::Table::num(ref.rounds_per_sec, 0),
+                     stats::Table::num(ref.peak_rss_mb, 1)});
+      if (ref.rounds_per_sec > 0) {
+        speedups[spec.name] = fast.rounds_per_sec / ref.rounds_per_sec;
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nspeedup (csr rounds/sec over reference):\n";
+  for (const auto& [name, speedup] : speedups) {
+    std::printf("  %-45s %.2fx\n", name.c_str(), speedup);
+  }
+
+  write_json(out_path, measurements, speedups);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

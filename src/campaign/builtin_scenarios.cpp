@@ -45,6 +45,25 @@ namespace {
   };
 }
 
+// Large-n families for the scale/* grid: bounded degree, O(n) memory.
+
+[[nodiscard]] NetworkBuilder scale_layered(NodeId layers, NodeId width) {
+  return [layers, width] {
+    return duals::layered_sparse({.layers = layers,
+                                  .width = width,
+                                  .fwd_degree = 3,
+                                  .unreliable_degree = 2,
+                                  .seed = 17});
+  };
+}
+
+[[nodiscard]] NetworkBuilder scale_grayzone(NodeId n) {
+  return [n] {
+    return duals::gray_zone_grid(
+        {.n = n, .mean_degree = 12.0, .gray_factor = 1.5, .seed = 17});
+  };
+}
+
 // Algorithm builders.
 
 [[nodiscard]] AlgorithmBuilder round_robin() {
@@ -68,6 +87,21 @@ namespace {
 [[nodiscard]] AlgorithmBuilder decay() {
   return [](const DualGraph& net) {
     return make_decay_factory(net.node_count());
+  };
+}
+
+/// Duty-cycled Decay (BGI-style bounded windows plus periodic maintenance
+/// beacons): a node runs the decay schedule for `active_phases` phases
+/// after first receiving the token, then for one phase in every
+/// `rebroadcast_period`. Completion stays certain (beacons recur forever)
+/// while steady-state rounds carry only the frontier plus a thin beacon
+/// trickle — the sparse-engine regime the scale/* scenarios exercise.
+[[nodiscard]] AlgorithmBuilder decay_windowed(Round active_phases,
+                                              Round rebroadcast_period) {
+  return [active_phases, rebroadcast_period](const DualGraph& net) {
+    return make_decay_factory(net.node_count(),
+                              {.active_phases = active_phases,
+                               .rebroadcast_period = rebroadcast_period});
   };
 }
 
@@ -255,6 +289,51 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
                 .adversary = greedy(),
                 .max_rounds = 100'000,
                 .trials = 3});
+
+  // --- Engine-scaling workloads: 10^3..10^5 nodes on sparse families. ---
+  // Decay under asynchronous start keeps the awake set equal to the covered
+  // set, which is exactly the regime the sparse CSR engine is built for;
+  // bench_engine_scaling measures these same scenarios against the dense
+  // reference engine. The 100k instances are tagged "slow" so quick filters
+  // skip them; one trial each keeps a full-catalogue run tractable.
+  struct ScalePoint {
+    const char* label;
+    NetworkBuilder network;
+    std::size_t trials;
+    bool slow;
+  };
+  const ScalePoint scale_points[] = {
+      {"layered-1k", scale_layered(50, 20), 3, false},
+      {"layered-10k", scale_layered(125, 80), 2, false},
+      {"layered-100k", scale_layered(250, 400), 1, true},
+      {"grayzone-1k", scale_grayzone(1'000), 3, false},
+      {"grayzone-10k", scale_grayzone(10'000), 2, false},
+      {"grayzone-100k", scale_grayzone(100'000), 1, true},
+  };
+  for (const ScalePoint& point : scale_points) {
+    for (const bool noisy : {false, true}) {
+      Scenario s;
+      s.name = std::string("scale/decay/") + point.label +
+               (noisy ? "/bernoulli:0.1" : "/benign");
+      s.description = std::string("Engine-scaling workload: Decay on the "
+                                  "sparse ") +
+                      point.label +
+                      (noisy ? " family with stochastic unreliable links"
+                             : " family over reliable links only");
+      s.tags = {"scale", "randomized"};
+      if (point.slow) s.tags.push_back("slow");
+      s.network = point.network;
+      s.algorithm =
+          decay_windowed(/*active_phases=*/2, /*rebroadcast_period=*/32);
+      s.adversary = noisy ? bernoulli(0.1) : benign();
+      // CR3 (collisions are silent) is the classic no-collision-detection
+      // radio assumption and keeps the steady state adversary-callback-free.
+      s.rule = CollisionRule::CR3;
+      s.max_rounds = 200'000;
+      s.trials = point.trials;
+      registry.add(std::move(s));
+    }
+  }
 
   // --- Multi-message broadcast over the abstract MAC layer (src/mac/). ---
   mac::register_mac_scenarios(registry);

@@ -34,7 +34,8 @@ struct TrialRow {
   Round rounds = kNever;          ///< completion round, kNever if not reached
   Round rounds_executed = 0;
   std::uint64_t sends = 0;
-  std::uint64_t collisions = 0;   ///< (node, round) pairs with >= 2 arrivals
+  std::uint64_t collisions = 0;   ///< observed collision events (see
+                                  ///< SimResult::total_collision_events)
   std::int32_t tokens = 1;        ///< broadcast tokens in the execution
   /// Wall time of the trial in microseconds; -1 unless
   /// CampaignConfig::measure_wall_time was set. Deliberately OUTSIDE the

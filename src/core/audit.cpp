@@ -1,8 +1,9 @@
 #include "core/audit.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
+
+#include "graph/graph.hpp"
 
 namespace dualrad::audit {
 namespace {
@@ -24,6 +25,7 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
     return report;
   }
   const NodeId n = net.node_count();
+  const auto un = static_cast<std::size_t>(n);
   if (result.token_first.empty()) {
     report.fail("result has no per-token coverage data");
     return report;
@@ -40,7 +42,7 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
   // ground truth. Everything later must be justified by a traced delivery.
   const std::size_t k = result.token_first.size();
   std::vector<std::vector<Round>> token_seen(
-      k, std::vector<Round>(static_cast<std::size_t>(n), kNever));
+      k, std::vector<Round>(un, kNever));
   for (std::size_t t = 0; t < k; ++t) {
     NodeId holder = kInvalidNode;
     int holders = 0;
@@ -73,27 +75,67 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                      [static_cast<std::size_t>(v)] != kNever;
   };
 
+  // CSR snapshots of both graphs drive the per-round reconstruction:
+  // g_csr.row for "every reliable edge delivered", gp_csr.contains for
+  // "every reached node is a G' neighbor".
+  const CsrGraph g_csr(net.g());
+  const CsrGraph gp_csr(net.g_prime());
+
+  // Epoch-stamped arrival slots (one epoch per trace record): count + first
+  // message per node, full list spilled on collision, and a touched list so
+  // per-record cost scales with deliveries, not n. reach_seen carries a
+  // per-sender epoch for duplicate detection and reliable-edge coverage.
+  std::vector<std::int64_t> arr_epoch(un, 0);
+  std::vector<std::uint32_t> arr_count(un, 0);
+  std::vector<Message> arr_first(un);
+  std::vector<std::vector<Message>> multi(un);
+  std::vector<std::int64_t> reach_seen(un, 0);
+  std::vector<bool> is_sender(un, false);
+  std::vector<NodeId> sender_nodes;
+  std::int64_t epoch = 0;
+  std::int64_t reach_mark = 0;
+
   for (const auto& record : result.trace.rounds) {
-    // Reconstruct arrivals.
-    std::vector<std::vector<Message>> arrivals(static_cast<std::size_t>(n));
-    std::vector<bool> is_sender(static_cast<std::size_t>(n), false);
+    ++epoch;
+    const auto deposit = [&](NodeId v, const Message& m) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (arr_epoch[uv] != epoch) {
+        arr_epoch[uv] = epoch;
+        arr_count[uv] = 1;
+        arr_first[uv] = m;
+        return;
+      }
+      if (arr_count[uv] == 1) {
+        multi[uv].clear();
+        multi[uv].push_back(arr_first[uv]);
+      }
+      ++arr_count[uv];
+      multi[uv].push_back(m);
+    };
+
+    sender_nodes.clear();
     for (const auto& sender : record.senders) {
       is_sender[static_cast<std::size_t>(sender.node)] = true;
-      arrivals[static_cast<std::size_t>(sender.node)].push_back(sender.message);
+      sender_nodes.push_back(sender.node);
+      deposit(sender.node, sender.message);
 
-      std::set<NodeId> reached(sender.reached.begin(), sender.reached.end());
-      if (reached.size() != sender.reached.size()) {
-        report.fail(at(record.round, sender.node) + "duplicate reach entries");
-      }
+      ++reach_mark;
+      bool duplicates = false;
       for (NodeId v : sender.reached) {
-        if (!net.g_prime().has_edge(sender.node, v)) {
+        const auto uv = static_cast<std::size_t>(v);
+        if (reach_seen[uv] == reach_mark) duplicates = true;
+        reach_seen[uv] = reach_mark;
+        if (!gp_csr.contains(sender.node, v)) {
           report.fail(at(record.round, sender.node) + "reached non-neighbor " +
                       std::to_string(v));
         }
-        arrivals[static_cast<std::size_t>(v)].push_back(sender.message);
+        deposit(v, sender.message);
       }
-      for (NodeId v : net.g().out_neighbors(sender.node)) {
-        if (!reached.contains(v)) {
+      if (duplicates) {
+        report.fail(at(record.round, sender.node) + "duplicate reach entries");
+      }
+      for (NodeId v : g_csr.row(sender.node)) {
+        if (reach_seen[static_cast<std::size_t>(v)] != reach_mark) {
           report.fail(at(record.round, sender.node) +
                       "reliable edge skipped to " + std::to_string(v));
         }
@@ -110,26 +152,31 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
       const auto uv = static_cast<std::size_t>(v);
       if (uv >= record.receptions.size()) break;
       const Reception& rec = record.receptions[uv];
-      const auto& arr = arrivals[uv];
+      const std::uint32_t arrived_count =
+          arr_epoch[uv] == epoch ? arr_count[uv] : 0;
       switch (rec.kind) {
         case ReceptionKind::Collision:
           if (rule != CollisionRule::CR1 && rule != CollisionRule::CR2) {
             report.fail(at(record.round, v) +
                         "collision notification under " + to_string(rule));
           }
-          if (arr.size() < 2) {
+          if (arrived_count < 2) {
             report.fail(at(record.round, v) +
                         "collision notification without a collision");
           }
           break;
         case ReceptionKind::Message: {
           const bool arrived =
-              std::find(arr.begin(), arr.end(), *rec.message) != arr.end();
+              arrived_count == 1
+                  ? arr_first[uv] == *rec.message
+                  : arrived_count >= 2 &&
+                        std::find(multi[uv].begin(), multi[uv].end(),
+                                  *rec.message) != multi[uv].end();
           if (!arrived) {
             report.fail(at(record.round, v) +
                         "received a message that did not arrive");
           }
-          if (arr.size() > 1 && !is_sender[uv] &&
+          if (arrived_count > 1 && !is_sender[uv] &&
               rule != CollisionRule::CR4) {
             report.fail(at(record.round, v) +
                         "non-sender received one of several messages under " +
@@ -138,7 +185,7 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
           break;
         }
         case ReceptionKind::Silence:
-          if (arr.size() == 1 && !is_sender[uv]) {
+          if (arrived_count == 1 && !is_sender[uv]) {
             report.fail(at(record.round, v) +
                         "heard silence despite a sole arrival");
           }
@@ -155,6 +202,8 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
         if (seen[uv] == kNever) seen[uv] = record.round;
       }
     }
+
+    for (NodeId v : sender_nodes) is_sender[static_cast<std::size_t>(v)] = false;
   }
 
   for (std::size_t t = 0; t < k; ++t) {

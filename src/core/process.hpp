@@ -74,6 +74,28 @@ class Process {
   /// State transition on the reception at the end of round `round`.
   virtual void on_receive(Round round, const Reception& reception) = 0;
 
+  /// Scheduling hint for the sparse round engine: the smallest round
+  /// r >= `from` at which `next_action(r)` may return a send, assuming no
+  /// state transition (on_receive with a non-silence reception, or
+  /// on_activate) happens before r; kNever if the process will never send
+  /// again absent such a transition. The engine promises to query
+  /// `next_action` at the hinted round (a conservative hint that
+  /// over-promises sends is fine — the engine just re-asks); a hint that
+  /// *skips* a round where `next_action(r).send` would be true is a contract
+  /// violation. The default — "I might send next round" — degenerates to
+  /// per-round polling and is always correct. Counter-RNG processes
+  /// (core/rng.hpp) can look ahead because their future coins are pure
+  /// functions of the round number.
+  [[nodiscard]] virtual Round next_send_round(Round from) const { return from; }
+
+  /// Declares that receiving Silence never changes this process's state or
+  /// observable behavior, so the engine may skip `on_receive` calls whose
+  /// reception is Silence. Opt-in per concrete class: override to return
+  /// true only if `on_receive` provably ignores silence (and the class
+  /// exports no metric counting receptions). The default keeps the exact
+  /// per-round delivery of the reference engine.
+  [[nodiscard]] virtual bool silence_transparent() const { return false; }
+
   /// Deep copy (same id, same state). Required for execution branching in
   /// the lower-bound harnesses.
   [[nodiscard]] virtual std::unique_ptr<Process> clone() const = 0;

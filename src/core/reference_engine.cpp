@@ -1,0 +1,260 @@
+#include "core/reference_engine.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace dualrad {
+
+SimResult run_broadcast_reference(const DualGraph& net,
+                                  const ProcessFactory& factory,
+                                  Adversary& adversary,
+                                  const SimConfig& config) {
+  DUALRAD_REQUIRE(config.max_rounds >= 1, "max_rounds must be positive");
+  DUALRAD_REQUIRE(static_cast<bool>(factory), "process factory must be set");
+
+  const NodeId n = net.node_count();
+  const auto un = static_cast<std::size_t>(n);
+
+  adversary.on_execution_start(net);
+
+  SimResult result;
+  result.process_of_node = adversary.assign_processes(net);
+  DUALRAD_CHECK(result.process_of_node.size() == un,
+                "proc mapping has wrong size");
+  {
+    std::vector<bool> seen(un, false);
+    for (ProcessId p : result.process_of_node) {
+      DUALRAD_CHECK(p >= 0 && p < n && !seen[static_cast<std::size_t>(p)],
+                    "proc mapping must be a permutation");
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+
+  // Instantiate processes, indexed by node for the rest of the run.
+  std::vector<std::unique_ptr<Process>> proc_at(un);
+  for (NodeId v = 0; v < n; ++v) {
+    const ProcessId pid = result.process_of_node[static_cast<std::size_t>(v)];
+    proc_at[static_cast<std::size_t>(v)] =
+        factory(pid, n, mix_seed(config.seed, static_cast<std::uint64_t>(pid)));
+    DUALRAD_CHECK(proc_at[static_cast<std::size_t>(v)] != nullptr,
+                  "factory returned null process");
+    DUALRAD_CHECK(proc_at[static_cast<std::size_t>(v)]->id() == pid,
+                  "factory produced process with wrong id");
+  }
+
+  // Token sources: the classic problem injects kBroadcastToken at the
+  // network source; multi-message executions inject token i+1 at
+  // token_sources[i] (all distinct).
+  std::vector<NodeId> sources = config.token_sources;
+  if (sources.empty()) sources.push_back(net.source());
+  const auto k = sources.size();
+  {
+    std::vector<bool> seen(un, false);
+    for (NodeId s : sources) {
+      DUALRAD_REQUIRE(s >= 0 && s < n, "token source out of range");
+      DUALRAD_REQUIRE(!seen[static_cast<std::size_t>(s)],
+                      "token sources must be distinct");
+      seen[static_cast<std::size_t>(s)] = true;
+    }
+  }
+
+  std::vector<bool> awake(un, false);
+  // covered[v]: the process at v holds at least one token (what the
+  // adversary view exposes); holds[t*n + v]: it holds token id t+1.
+  std::vector<bool> covered(un, false);
+  std::vector<bool> holds(k * un, false);
+  result.token_first.assign(k, std::vector<Round>(un, kNever));
+
+  // Environment input: each token arrives at its source process prior to
+  // round 1 (Section 3).
+  std::size_t held_count = 0;
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto src = static_cast<std::size_t>(sources[t]);
+    const Message env_msg{/*token=*/static_cast<TokenId>(t + 1),
+                          /*origin=*/kInvalidProcess,
+                          /*round_tag=*/0, /*payload=*/0};
+    covered[src] = true;
+    holds[t * un + src] = true;
+    result.token_first[t][src] = 0;
+    ++held_count;
+    proc_at[src]->on_activate(0, env_msg);
+    awake[src] = true;
+  }
+  if (config.start == StartRule::Synchronous) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (awake[uv]) continue;
+      proc_at[uv]->on_activate(0, std::nullopt);
+      awake[uv] = true;
+    }
+  }
+
+  result.trace.level = config.trace;
+
+  // Reusable per-round buffers.
+  std::vector<NodeId> senders;
+  std::vector<Message> sent_msg(un);
+  std::vector<bool> is_sender(un, false);
+  std::vector<std::vector<Message>> arrivals(un);
+  std::vector<Reception> receptions(un);
+
+  const std::size_t all_held = k * un;
+
+  for (Round round = 1; round <= config.max_rounds; ++round) {
+    result.rounds_executed = round;
+    senders.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      is_sender[uv] = false;
+      arrivals[uv].clear();
+      if (!awake[uv]) continue;
+      const Action action = proc_at[uv]->next_action(round);
+      if (!action.send) continue;
+      const TokenId tok = action.message.token;
+      DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
+                    "process sent an unknown token id");
+      DUALRAD_CHECK(tok == kNoToken ||
+                        holds[static_cast<std::size_t>(tok - 1) * un + uv],
+                    "process sent a broadcast token without holding it");
+      is_sender[uv] = true;
+      sent_msg[uv] = action.message;
+      senders.push_back(v);
+    }
+    result.total_sends += senders.size();
+
+    // Adversary chooses which unreliable links fire.
+    AdversaryView view{&net, &result.process_of_node, &covered, round};
+    std::vector<ReachChoice> reach =
+        adversary.choose_unreliable_reach(view, senders);
+    DUALRAD_CHECK(reach.size() == senders.size(),
+                  "adversary returned wrong number of reach choices");
+
+    RoundRecord record;
+    const bool full_trace = config.trace == TraceLevel::Full;
+    if (full_trace) record.round = round;
+
+    // Message propagation: sender itself + G out-neighbors + chosen extras.
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      const NodeId u = senders[i];
+      const auto uu = static_cast<std::size_t>(u);
+      const Message& m = sent_msg[uu];
+      arrivals[uu].push_back(m);
+      SenderRecord srec;
+      if (full_trace) {
+        srec.node = u;
+        srec.message = m;
+      }
+      for (NodeId v : net.g().out_neighbors(u)) {
+        arrivals[static_cast<std::size_t>(v)].push_back(m);
+        if (full_trace) srec.reached.push_back(v);
+      }
+      for (NodeId v : reach[i].extra) {
+        DUALRAD_CHECK(net.g_prime().has_edge(u, v) && !net.g().has_edge(u, v),
+                      "adversary chose a non-G'-only edge");
+        arrivals[static_cast<std::size_t>(v)].push_back(m);
+        if (full_trace) srec.reached.push_back(v);
+      }
+      if (full_trace) record.senders.push_back(std::move(srec));
+    }
+
+    // Receptions under the configured collision rule.
+    std::uint32_t collision_events = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      const auto& arr = arrivals[uv];
+      // A collision event is a (node, round) pair at which the process
+      // observes a collision: >= 2 arrivals, except that under CR2-CR4 a
+      // sender deterministically hears its own message, so no collision
+      // occurs at sender nodes there (CR1 counts senders too).
+      if (arr.size() >= 2 &&
+          (config.rule == CollisionRule::CR1 || !is_sender[uv])) {
+        ++collision_events;
+      }
+      Reception rec = Reception::silence();
+      switch (config.rule) {
+        case CollisionRule::CR1:
+          if (arr.size() == 1) {
+            rec = Reception::of(arr.front());
+          } else if (arr.size() >= 2) {
+            rec = Reception::collision();
+          }
+          break;
+        case CollisionRule::CR2:
+        case CollisionRule::CR3:
+        case CollisionRule::CR4:
+          if (is_sender[uv]) {
+            rec = Reception::of(sent_msg[uv]);
+          } else if (arr.size() == 1) {
+            rec = Reception::of(arr.front());
+          } else if (arr.size() >= 2) {
+            if (config.rule == CollisionRule::CR2) {
+              rec = Reception::collision();
+            } else if (config.rule == CollisionRule::CR3) {
+              rec = Reception::silence();
+            } else {
+              rec = adversary.resolve_cr4(view, v, arr);
+              DUALRAD_CHECK(!rec.is_collision(),
+                            "CR4 resolution cannot be collision notification");
+              DUALRAD_CHECK(!rec.is_message() ||
+                                std::find(arr.begin(), arr.end(),
+                                          *rec.message) != arr.end(),
+                            "CR4 resolution must pick an arriving message");
+            }
+          }
+          break;
+      }
+      receptions[uv] = rec;
+    }
+    result.total_collision_events += collision_events;
+
+    // Deliver; wake sleeping processes on message reception (async start).
+    for (NodeId v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      const Reception& rec = receptions[uv];
+      if (awake[uv]) {
+        proc_at[uv]->on_receive(round, rec);
+      } else if (rec.is_message()) {
+        proc_at[uv]->on_activate(round, rec.message);
+        awake[uv] = true;
+      }
+      if (rec.has_token()) {
+        const auto t = static_cast<std::size_t>(rec.message->token - 1);
+        covered[uv] = true;
+        if (!holds[t * un + uv]) {
+          holds[t * un + uv] = true;
+          result.token_first[t][uv] = round;
+          ++held_count;
+        }
+      }
+    }
+
+    if (config.trace != TraceLevel::None) {
+      result.trace.senders_per_round.push_back(
+          static_cast<std::uint32_t>(senders.size()));
+      result.trace.collisions_per_round.push_back(collision_events);
+    }
+    if (full_trace) {
+      record.receptions.assign(receptions.begin(), receptions.end());
+      result.trace.rounds.push_back(std::move(record));
+    }
+
+    if (held_count == all_held && !result.completed) {
+      result.completed = true;
+      result.completion_round = round;
+      if (config.stop_on_completion) break;
+    }
+  }
+
+  result.first_token = result.token_first.front();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    for (ProcessMetric& m : proc_at[uv]->final_metrics()) {
+      result.process_metrics.push_back(ProcessMetricSample{
+          v, result.process_of_node[uv], std::move(m.name), m.value});
+    }
+  }
+  return result;
+}
+
+}  // namespace dualrad

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/simulator.hpp"
+
+/// \file reference_engine.hpp
+/// The original dense O(n)-per-round execution engine, kept verbatim (modulo
+/// the collision-accounting fix, which applies to both engines) as the
+/// behavioral reference for the sparse CSR engine in simulator.cpp.
+///
+/// Per round it scans every node: polls awake processes, clears every
+/// arrival vector, resolves every reception, and delivers to every process.
+/// That is simple and obviously faithful to Section 2.1 — and exactly what
+/// tests/test_engine_equivalence.cpp holds the production engine to:
+/// `run_broadcast` and `run_broadcast_reference` must return bit-identical
+/// SimResults for every network, algorithm, adversary, and config.
+///
+/// Not for production use: the CSR engine is asymptotically faster and the
+/// default everywhere (campaign, benches, tools).
+
+namespace dualrad {
+
+/// One execution under the dense reference engine. Same contract as
+/// run_broadcast.
+[[nodiscard]] SimResult run_broadcast_reference(const DualGraph& net,
+                                                const ProcessFactory& factory,
+                                                Adversary& adversary,
+                                                const SimConfig& config);
+
+}  // namespace dualrad

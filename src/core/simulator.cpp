@@ -3,8 +3,108 @@
 #include <algorithm>
 
 #include "core/rng.hpp"
+#include "graph/graph.hpp"
 
 namespace dualrad {
+
+/// The sparse CSR round engine.
+///
+/// The dense reference engine (core/reference_engine.cpp) spends O(n) per
+/// round scanning every node four times. This engine makes a round cost
+/// O(#polled-senders + #deliveries) instead:
+///
+///  * **CSR adjacency snapshot** — `net.g()` is frozen into a CsrGraph once
+///    per execution; message propagation walks flat rows in the builder's
+///    insertion order (bit-identical arrival order to the reference).
+///  * **Epoch-stamped arrival slots** — one packed slot per node: the
+///    arrival round, a saturating arrival count, and the first arriving
+///    sender (whose message is sent_msg[sender], so deposits copy no
+///    Message). A `touched` list enumerates exactly the nodes reached this
+///    round, so nothing is ever cleared; a slot is stale iff its round
+///    field is old. Nodes with >= 2 arrivals spill the full arrival list
+///    (needed only for CR4 resolution) into a per-node vector.
+///  * **Calendar send scheduling** — instead of polling every awake process
+///    every round, the engine keeps a bucket-ring calendar keyed by
+///    Process::next_send_round. A process is polled only at rounds its hint
+///    admits a send; the default hint ("maybe next round") degenerates to
+///    per-round polling, so arbitrary processes remain exactly as observable
+///    as under the reference engine. Any state transition (activation or a
+///    non-silence reception — or any reception, for processes that do not
+///    declare silence_transparent) reschedules the process.
+///  * **Silence elision** — processes that declare silence_transparent()
+///    receive on_receive only for non-silence receptions; everyone else is
+///    kept on the reference engine's per-round delivery via a `noisy` list.
+///
+/// Everything observable — process call sequences modulo elided silent
+/// no-ops, adversary call order (senders ascending; CR4 resolutions in
+/// ascending node order, exactly the reference's node scan), RNG streams,
+/// SimResult including full traces — is bit-identical to the reference
+/// engine; tests/test_engine_equivalence.cpp enforces this across random
+/// small executions and the whole builtin campaign grid.
+
+namespace {
+
+/// Bucket-ring calendar of planned next-send rounds. planned_ is
+/// authoritative; bucket entries are hints and may be stale (a node is
+/// consulted at round r only if planned_[node] == r). Capacity grows so
+/// that every live entry's round is < current + buckets (one ring lap),
+/// which guarantees a bucket holds only current-round or stale entries
+/// whenever it is visited.
+class SendCalendar {
+ public:
+  explicit SendCalendar(std::size_t n)
+      : planned_(n, kNever), buckets_(kInitialBuckets) {}
+
+  void plan(NodeId v, Round r, Round now) {
+    auto& slot = planned_[static_cast<std::size_t>(v)];
+    if (r == kNever) {
+      slot = kNever;
+      return;
+    }
+    // A hint at or before the current round would land in an
+    // already-drained bucket and silently never fire (or wrap grow()).
+    DUALRAD_CHECK(r > now, "next_send_round hinted a non-future round");
+    if (slot == r) return;  // live entry already queued for r
+    slot = r;
+    if (static_cast<std::size_t>(r - now) >= buckets_.size()) grow(r, now);
+    buckets_[static_cast<std::size_t>(r) & (buckets_.size() - 1)].push_back(v);
+  }
+
+  /// Nodes whose plan names `round`, deduplicated; the bucket is drained.
+  void take_due(Round round, std::vector<NodeId>& out) {
+    auto& bucket =
+        buckets_[static_cast<std::size_t>(round) & (buckets_.size() - 1)];
+    for (NodeId v : bucket) {
+      if (planned_[static_cast<std::size_t>(v)] == round) {
+        out.push_back(v);
+        // A duplicate entry for the same round must not poll twice; mark
+        // the plan consumed (the poll loop replans from round + 1).
+        planned_[static_cast<std::size_t>(v)] = kNever;
+      }
+    }
+    bucket.clear();
+  }
+
+ private:
+  static constexpr std::size_t kInitialBuckets = 64;
+
+  void grow(Round r, Round now) {
+    std::size_t size = buckets_.size();
+    while (static_cast<std::size_t>(r - now) >= size) size *= 2;
+    buckets_.assign(size, {});
+    for (std::size_t v = 0; v < planned_.size(); ++v) {
+      if (planned_[v] != kNever) {
+        buckets_[static_cast<std::size_t>(planned_[v]) & (size - 1)].push_back(
+            static_cast<NodeId>(v));
+      }
+    }
+  }
+
+  std::vector<Round> planned_;
+  std::vector<std::vector<NodeId>> buckets_;
+};
+
+}  // namespace
 
 Simulator::Simulator(const DualGraph& net, ProcessFactory factory,
                      Adversary& adversary, SimConfig config)
@@ -25,6 +125,11 @@ SimResult run_broadcast(const DualGraph& net, const ProcessFactory& factory,
 SimResult Simulator::run() {
   const NodeId n = net_.node_count();
   const auto un = static_cast<std::size_t>(n);
+
+  // Flat adjacency snapshots for the hot path. csr_g drives propagation;
+  // csr_gp backs the G'-membership validation of adversary reach choices.
+  const CsrGraph csr_g(net_.g());
+  const CsrGraph csr_gp(net_.g_prime());
 
   adversary_.on_execution_start(net_);
 
@@ -76,6 +181,20 @@ SimResult Simulator::run() {
   std::vector<bool> holds(k * un, false);
   result.token_first.assign(k, std::vector<Round>(un, kNever));
 
+  // Scheduling state. `transparent[v]` caches silence_transparent() of the
+  // process at v (queried at activation); non-transparent awake nodes are
+  // listed in `noisy` and get the reference engine's per-round delivery.
+  SendCalendar calendar(un);
+  std::vector<bool> transparent(un, false);
+  std::vector<NodeId> noisy;
+  const auto activate_bookkeeping = [&](NodeId v, Round now) {
+    const auto uv = static_cast<std::size_t>(v);
+    awake[uv] = true;
+    transparent[uv] = proc_at[uv]->silence_transparent();
+    if (!transparent[uv]) noisy.push_back(v);
+    calendar.plan(v, proc_at[uv]->next_send_round(now + 1), now);
+  };
+
   // Environment input: each token arrives at its source process prior to
   // round 1 (Section 3).
   std::size_t held_count = 0;
@@ -89,37 +208,60 @@ SimResult Simulator::run() {
     result.token_first[t][src] = 0;
     ++held_count;
     proc_at[src]->on_activate(0, env_msg);
-    awake[src] = true;
+    activate_bookkeeping(sources[t], 0);
   }
   if (config_.start == StartRule::Synchronous) {
     for (NodeId v = 0; v < n; ++v) {
-      const auto uv = static_cast<std::size_t>(v);
-      if (awake[uv]) continue;
-      proc_at[uv]->on_activate(0, std::nullopt);
-      awake[uv] = true;
+      if (awake[static_cast<std::size_t>(v)]) continue;
+      proc_at[static_cast<std::size_t>(v)]->on_activate(0, std::nullopt);
+      activate_bookkeeping(v, 0);
     }
   }
 
   result.trace.level = config_.trace;
+  const bool full_trace = config_.trace == TraceLevel::Full;
 
   // Reusable per-round buffers.
-  std::vector<NodeId> senders;
+  std::vector<NodeId> due;            // calendar pops, this round
+  std::vector<NodeId> senders;        // ascending, as the reference produces
   std::vector<Message> sent_msg(un);
   std::vector<bool> is_sender(un, false);
-  std::vector<std::vector<Message>> arrivals(un);
-  std::vector<Reception> receptions(un);
+  // Arrival slot per node: `mark` packs (round << 2) | count with count
+  // saturating at 3 (the model only distinguishes 0 / 1 / >= 2), `from` is
+  // the first arriving sender (its message is sent_msg[from], so the slot
+  // fits one cache line and deposits copy no Message). A slot is live iff
+  // its round field equals the current round — nothing is ever cleared.
+  struct ArrivalSlot {
+    std::uint64_t mark = 0;
+    NodeId from = kInvalidNode;
+  };
+  std::vector<ArrivalSlot> arrival(un);
+  std::vector<NodeId> touched;        // nodes with >= 1 arrival this round
+  std::vector<NodeId> collided;       // nodes with >= 2 arrivals this round
+  // Full arrival lists, spilled only on collision and only consumed under
+  // CR4 (adversary resolution picks among them).
+  std::vector<std::vector<Message>> multi(un);
+  std::vector<Reception> rec_of(un);  // CR4 collided non-senders only
+  const Reception kSilence = Reception::silence();
+  senders.reserve(64);
+  touched.reserve(64);
+  collided.reserve(64);
 
   const std::size_t all_held = k * un;
+  const bool spill_arrivals = config_.rule == CollisionRule::CR4;
 
   for (Round round = 1; round <= config_.max_rounds; ++round) {
     result.rounds_executed = round;
+
+    // --- Poll: only processes whose hint admits a send this round. ---
+    due.clear();
+    calendar.take_due(round, due);
     senders.clear();
-    for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId v : due) {
       const auto uv = static_cast<std::size_t>(v);
-      is_sender[uv] = false;
-      arrivals[uv].clear();
-      if (!awake[uv]) continue;
       const Action action = proc_at[uv]->next_action(round);
+      // Replan immediately; a reception later this round replans again.
+      calendar.plan(v, proc_at[uv]->next_send_round(round + 1), round);
       if (!action.send) continue;
       const TokenId tok = action.message.token;
       DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
@@ -131,6 +273,10 @@ SimResult Simulator::run() {
       sent_msg[uv] = action.message;
       senders.push_back(v);
     }
+    // Calendar pops arrive in bucket order; the adversary interface (and
+    // stateful adversaries' RNG streams) see senders in ascending node
+    // order, exactly like the reference engine's node scan.
+    std::sort(senders.begin(), senders.end());
     result.total_sends += senders.size();
 
     // Adversary chooses which unreliable links fire.
@@ -141,85 +287,136 @@ SimResult Simulator::run() {
                   "adversary returned wrong number of reach choices");
 
     RoundRecord record;
-    const bool full_trace = config_.trace == TraceLevel::Full;
     if (full_trace) record.round = round;
 
-    // Message propagation: sender itself + G out-neighbors + chosen extras.
+    // --- Propagation: sender itself + G out-neighbors + chosen extras. ---
+    touched.clear();
+    collided.clear();
+    const auto live = static_cast<std::uint64_t>(round) << 2;
+    const auto deposit = [&](NodeId v, NodeId sender) {
+      const auto uv = static_cast<std::size_t>(v);
+      ArrivalSlot& slot = arrival[uv];
+      if ((slot.mark & ~std::uint64_t{3}) != live) {
+        slot.mark = live | 1;
+        slot.from = sender;
+        touched.push_back(v);
+        return;
+      }
+      if ((slot.mark & 3) == 1) {
+        collided.push_back(v);
+        if (spill_arrivals) {
+          multi[uv].clear();
+          multi[uv].push_back(sent_msg[static_cast<std::size_t>(slot.from)]);
+        }
+      }
+      if ((slot.mark & 3) < 3) ++slot.mark;
+      if (spill_arrivals) {
+        multi[uv].push_back(sent_msg[static_cast<std::size_t>(sender)]);
+      }
+    };
     for (std::size_t i = 0; i < senders.size(); ++i) {
       const NodeId u = senders[i];
-      const auto uu = static_cast<std::size_t>(u);
-      const Message& m = sent_msg[uu];
-      arrivals[uu].push_back(m);
+      const Message& m = sent_msg[static_cast<std::size_t>(u)];
+      deposit(u, u);
       SenderRecord srec;
       if (full_trace) {
         srec.node = u;
         srec.message = m;
       }
-      for (NodeId v : net_.g().out_neighbors(u)) {
-        arrivals[static_cast<std::size_t>(v)].push_back(m);
+      for (const NodeId v : csr_g.row(u)) {
+        deposit(v, u);
         if (full_trace) srec.reached.push_back(v);
       }
-      for (NodeId v : reach[i].extra) {
-        DUALRAD_CHECK(net_.g_prime().has_edge(u, v) && !net_.g().has_edge(u, v),
+      for (const NodeId v : reach[i].extra) {
+        DUALRAD_CHECK(csr_gp.contains(u, v) && !csr_g.contains(u, v),
                       "adversary chose a non-G'-only edge");
-        arrivals[static_cast<std::size_t>(v)].push_back(m);
+        deposit(v, u);
         if (full_trace) srec.reached.push_back(v);
       }
       if (full_trace) record.senders.push_back(std::move(srec));
     }
 
-    // Receptions under the configured collision rule.
+    // --- Receptions under the configured collision rule (touched only:
+    // everyone else hears silence). CR4 collisions are resolved in a second
+    // pass, in ascending node order — the order the reference engine's node
+    // scan consults the adversary in. ---
     std::uint32_t collision_events = 0;
-    for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId v : collided) {
+      // Collision events are what processes observe: under CR2-CR4 a
+      // sender deterministically hears its own message, so no collision
+      // occurs at sender nodes there (CR1 counts senders too).
+      if (config_.rule == CollisionRule::CR1 ||
+          !is_sender[static_cast<std::size_t>(v)]) {
+        ++collision_events;
+      }
+    }
+    result.total_collision_events += collision_events;
+    if (config_.rule == CollisionRule::CR4 && !collided.empty()) {
+      std::sort(collided.begin(), collided.end());
+      for (const NodeId v : collided) {
+        const auto uv = static_cast<std::size_t>(v);
+        if (is_sender[uv]) continue;
+        Reception rec = adversary_.resolve_cr4(view, v, multi[uv]);
+        DUALRAD_CHECK(!rec.is_collision(),
+                      "CR4 resolution cannot be collision notification");
+        DUALRAD_CHECK(!rec.is_message() ||
+                          std::find(multi[uv].begin(), multi[uv].end(),
+                                    *rec.message) != multi[uv].end(),
+                      "CR4 resolution must pick an arriving message");
+        rec_of[uv] = rec;
+      }
+    }
+
+    // --- Fused reception + delivery over the touched set. Receptions are
+    // pure functions of this round's (fixed) arrivals and sender flags —
+    // CR4 resolutions were fixed above, before any state change, exactly
+    // like the reference engine's two-pass order — so computing and
+    // delivering per node in one pass is equivalent. Touched nodes get
+    // activations, non-silent deliveries (plus silent ones for
+    // non-transparent processes), and all token bookkeeping; pass B then
+    // delivers the round's silence to the remaining noisy awake nodes.
+    // Processes activated this round consume their reception through
+    // on_activate, so only nodes noisy *before* this round's activations
+    // get the pass-B delivery. ---
+    if (full_trace) record.receptions.assign(un, kSilence);
+    const std::size_t noisy_before = noisy.size();
+    for (const NodeId v : touched) {
       const auto uv = static_cast<std::size_t>(v);
-      const auto& arr = arrivals[uv];
-      if (arr.size() >= 2) ++collision_events;
-      Reception rec = Reception::silence();
+      const ArrivalSlot& slot = arrival[uv];
+      const std::uint32_t count = slot.mark & 3;
+      const auto first_msg = [&]() -> const Message& {
+        return sent_msg[static_cast<std::size_t>(slot.from)];
+      };
+      Reception rec;
       switch (config_.rule) {
         case CollisionRule::CR1:
-          if (arr.size() == 1) {
-            rec = Reception::of(arr.front());
-          } else if (arr.size() >= 2) {
-            rec = Reception::collision();
-          }
+          rec = count == 1 ? Reception::of(first_msg())
+                           : Reception::collision();
           break;
         case CollisionRule::CR2:
         case CollisionRule::CR3:
         case CollisionRule::CR4:
           if (is_sender[uv]) {
             rec = Reception::of(sent_msg[uv]);
-          } else if (arr.size() == 1) {
-            rec = Reception::of(arr.front());
-          } else if (arr.size() >= 2) {
-            if (config_.rule == CollisionRule::CR2) {
-              rec = Reception::collision();
-            } else if (config_.rule == CollisionRule::CR3) {
-              rec = Reception::silence();
-            } else {
-              rec = adversary_.resolve_cr4(view, v, arr);
-              DUALRAD_CHECK(!rec.is_collision(),
-                            "CR4 resolution cannot be collision notification");
-              DUALRAD_CHECK(!rec.is_message() ||
-                                std::find(arr.begin(), arr.end(),
-                                          *rec.message) != arr.end(),
-                            "CR4 resolution must pick an arriving message");
-            }
+          } else if (count == 1) {
+            rec = Reception::of(first_msg());
+          } else if (config_.rule == CollisionRule::CR2) {
+            rec = Reception::collision();
+          } else if (config_.rule == CollisionRule::CR3) {
+            rec = Reception::silence();
+          } else {
+            rec = rec_of[uv];  // CR4: the adversary's resolution
           }
           break;
       }
-      receptions[uv] = rec;
-    }
-    result.total_collision_events += collision_events;
-
-    // Deliver; wake sleeping processes on message reception (async start).
-    for (NodeId v = 0; v < n; ++v) {
-      const auto uv = static_cast<std::size_t>(v);
-      const Reception& rec = receptions[uv];
       if (awake[uv]) {
-        proc_at[uv]->on_receive(round, rec);
+        if (!transparent[uv] || !rec.is_silence()) {
+          proc_at[uv]->on_receive(round, rec);
+          calendar.plan(v, proc_at[uv]->next_send_round(round + 1), round);
+        }
       } else if (rec.is_message()) {
         proc_at[uv]->on_activate(round, rec.message);
-        awake[uv] = true;
+        activate_bookkeeping(v, round);
       }
       if (rec.has_token()) {
         const auto t = static_cast<std::size_t>(rec.message->token - 1);
@@ -230,6 +427,13 @@ SimResult Simulator::run() {
           ++held_count;
         }
       }
+      if (full_trace) record.receptions[uv] = std::move(rec);
+    }
+    for (std::size_t i = 0; i < noisy_before; ++i) {
+      const auto uv = static_cast<std::size_t>(noisy[i]);
+      if ((arrival[uv].mark & ~std::uint64_t{3}) == live) continue;  // delivered above
+      proc_at[uv]->on_receive(round, kSilence);
+      calendar.plan(noisy[i], proc_at[uv]->next_send_round(round + 1), round);
     }
 
     if (config_.trace != TraceLevel::None) {
@@ -237,10 +441,9 @@ SimResult Simulator::run() {
           static_cast<std::uint32_t>(senders.size()));
       result.trace.collisions_per_round.push_back(collision_events);
     }
-    if (full_trace) {
-      record.receptions.assign(receptions.begin(), receptions.end());
-      result.trace.rounds.push_back(std::move(record));
-    }
+    if (full_trace) result.trace.rounds.push_back(std::move(record));
+
+    for (const NodeId v : senders) is_sender[static_cast<std::size_t>(v)] = false;
 
     if (held_count == all_held && !result.completed) {
       result.completed = true;

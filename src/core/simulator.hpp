@@ -23,6 +23,15 @@
 /// before round 1 (Section 3). Multi-message executions (the MAC-layer
 /// workloads of src/mac/) instead inject k tokens, one per configured source
 /// node; completion then means every process holds every token.
+///
+/// Implementation: a sparse engine (simulator.cpp) built on a frozen CSR
+/// adjacency snapshot, epoch-stamped arrival slots with a touched-node list,
+/// and calendar-based send scheduling driven by the optional
+/// Process::next_send_round / silence_transparent hints — a round costs
+/// O(#polled senders + #deliveries) rather than O(n), which is what makes
+/// 10^5-node executions practical. The original dense engine survives as
+/// run_broadcast_reference (core/reference_engine.hpp) and is held
+/// bit-identical to this one by tests/test_engine_equivalence.cpp.
 
 namespace dualrad {
 
@@ -69,7 +78,10 @@ struct SimResult {
   /// proc mapping used: process_of_node[node] = process id.
   std::vector<ProcessId> process_of_node{};
   std::uint64_t total_sends = 0;
-  /// Number of (node, round) pairs at which >= 2 messages reached the node.
+  /// Number of (node, round) pairs at which the process observed a
+  /// collision: >= 2 messages reached the node and the node was not a
+  /// sender, except under CR1 where senders collide too (under CR2-CR4 a
+  /// sender deterministically hears its own message).
   std::uint64_t total_collision_events = 0;
   /// Process::final_metrics of every process, in node order. Empty unless
   /// some process exports metrics (e.g. the MAC layer's ack latencies).
@@ -90,9 +102,6 @@ class Simulator {
   [[nodiscard]] SimResult run();
 
  private:
-  struct NodeState;
-  void deliver_round(Round round, SimResult& result);
-
   const DualGraph& net_;
   ProcessFactory factory_;
   Adversary& adversary_;

@@ -151,4 +151,181 @@ DualGraph strip_unreliable(const DualGraph& net) {
   return make_classical(std::move(g), net.source());
 }
 
+DualGraph layered_sparse(const LayeredSparseParams& params) {
+  DUALRAD_REQUIRE(params.layers >= 1 && params.width >= 1,
+                  "layered_sparse needs layers >= 1, width >= 1");
+  DUALRAD_REQUIRE(params.fwd_degree >= 1, "layered_sparse needs fwd_degree >= 1");
+  DUALRAD_REQUIRE(params.unreliable_degree >= 0,
+                  "layered_sparse needs unreliable_degree >= 0");
+  const NodeId n = 1 + params.layers * params.width;
+  StreamRng rng(mix_seed(params.seed, 0x6C737270));
+  Graph g(n);
+  // layer_begin(i): first node id of layer i; layer 0 is the source alone.
+  const auto layer_begin = [&](NodeId i) {
+    return i == 0 ? NodeId{0} : 1 + (i - 1) * params.width;
+  };
+  const auto layer_size = [&](NodeId i) {
+    return i == 0 ? NodeId{1} : params.width;
+  };
+  for (NodeId layer = 1; layer <= params.layers; ++layer) {
+    const NodeId prev_begin = layer_begin(layer - 1);
+    const NodeId prev_size = layer_size(layer - 1);
+    for (NodeId j = 0; j < params.width; ++j) {
+      const NodeId v = layer_begin(layer) + j;
+      for (NodeId d = 0; d < params.fwd_degree; ++d) {
+        const NodeId u = prev_begin + static_cast<NodeId>(rng.below(
+                             static_cast<std::uint64_t>(prev_size)));
+        // Repeated draws of the same parent just lower the degree a bit.
+        g.add_undirected_edge(u, v);
+      }
+    }
+  }
+  Graph gp = g;
+  for (NodeId layer = 2; layer <= params.layers; ++layer) {
+    const NodeId skip_begin = layer_begin(layer - 2);
+    const NodeId skip_size = layer_size(layer - 2);
+    for (NodeId j = 0; j < params.width; ++j) {
+      const NodeId v = layer_begin(layer) + j;
+      for (NodeId d = 0; d < params.unreliable_degree; ++d) {
+        const NodeId u = skip_begin + static_cast<NodeId>(rng.below(
+                             static_cast<std::uint64_t>(skip_size)));
+        gp.add_undirected_edge(u, v);
+      }
+    }
+  }
+  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+}
+
+DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
+  DUALRAD_REQUIRE(params.n >= 2, "gray_zone_grid needs n >= 2");
+  DUALRAD_REQUIRE(params.mean_degree > 0, "mean_degree must be positive");
+  DUALRAD_REQUIRE(params.gray_factor >= 1.0, "gray_factor must be >= 1");
+  const auto n = static_cast<std::size_t>(params.n);
+  const double pi = 3.14159265358979323846;
+  const double r_rel =
+      std::sqrt(params.mean_degree / (pi * static_cast<double>(params.n)));
+  const double r_gray = std::min(params.gray_factor * r_rel, 1.0);
+
+  StreamRng rng(mix_seed(params.seed, 0x67726964));
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  const auto dist2 = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b], dy = y[a] - y[b];
+    return dx * dx + dy * dy;
+  };
+
+  // Spatial hash: cells of side r_gray, so all neighbors of a node live in
+  // its 3x3 cell block. Cell occupants are listed in ascending node id.
+  const auto cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / r_gray));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  const auto cell_of = [&](double coord) {
+    return std::min(cells - 1,
+                    static_cast<std::size_t>(coord / cell_size));
+  };
+  std::vector<std::vector<NodeId>> grid(cells * cells);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid[cell_of(y[i]) * cells + cell_of(x[i])].push_back(
+        static_cast<NodeId>(i));
+  }
+
+  Graph g(params.n);
+  Graph gp(params.n);
+  const double rr2 = r_rel * r_rel;
+  const double rg2 = r_gray * r_gray;
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::size_t cx = cell_of(x[a]), cy = cell_of(y[a]);
+    for (std::size_t gy = cy == 0 ? 0 : cy - 1;
+         gy <= std::min(cells - 1, cy + 1); ++gy) {
+      for (std::size_t gx = cx == 0 ? 0 : cx - 1;
+           gx <= std::min(cells - 1, cx + 1); ++gx) {
+        for (const NodeId bv : grid[gy * cells + gx]) {
+          const auto b = static_cast<std::size_t>(bv);
+          if (b <= a) continue;  // each pair once, smaller id first
+          const double d2 = dist2(a, b);
+          if (d2 <= rr2) {
+            g.add_undirected_edge(static_cast<NodeId>(a), bv);
+            gp.add_undirected_edge(static_cast<NodeId>(a), bv);
+          } else if (d2 <= rg2) {
+            gp.add_undirected_edge(static_cast<NodeId>(a), bv);
+          }
+        }
+      }
+    }
+  }
+
+  // Wire stranded nodes into the source component along nearest-neighbor
+  // links (expanding ring search over the grid), modeling the link-quality
+  // floor like gray_zone. After wiring a node, its whole reliable component
+  // joins the covered set, so each component costs one extra edge.
+  std::vector<bool> covered(n, false);
+  std::vector<NodeId> stack;
+  const auto flood = [&](NodeId start) {
+    stack.push_back(start);
+    covered[static_cast<std::size_t>(start)] = true;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId w : g.out_neighbors(u)) {
+        if (!covered[static_cast<std::size_t>(w)]) {
+          covered[static_cast<std::size_t>(w)] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  };
+  flood(0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (covered[v]) continue;
+    // Nearest covered node: scan grid rings outward until the closest
+    // possible cell of the next ring — (ring - 1) cells away — is already
+    // farther than the best hit, which guarantees the true nearest was
+    // seen. Ties break toward the smaller node id (deterministic).
+    const std::size_t cx = cell_of(x[v]), cy = cell_of(y[v]);
+    NodeId best = kInvalidNode;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t ring = 0; ring < cells; ++ring) {
+      if (best != kInvalidNode && ring >= 2) {
+        const double ring_min = static_cast<double>(ring - 1) * cell_size;
+        if (ring_min * ring_min > best_d2) break;
+      }
+      const auto visit = [&](std::size_t gx, std::size_t gy) {
+        for (const NodeId wv : grid[gy * cells + gx]) {
+          const auto w = static_cast<std::size_t>(wv);
+          if (!covered[w]) continue;
+          const double d2 = dist2(v, w);
+          if (d2 < best_d2 || (d2 == best_d2 && wv < best)) {
+            best_d2 = d2;
+            best = wv;
+          }
+        }
+      };
+      const std::size_t lo_x = cx >= ring ? cx - ring : 0;
+      const std::size_t hi_x = std::min(cells - 1, cx + ring);
+      const std::size_t lo_y = cy >= ring ? cy - ring : 0;
+      const std::size_t hi_y = std::min(cells - 1, cy + ring);
+      for (std::size_t gy = lo_y; gy <= hi_y; ++gy) {
+        for (std::size_t gx = lo_x; gx <= hi_x; ++gx) {
+          // Ring cells only: skip the interior already visited.
+          if (ring > 0 && gx != lo_x && gx != hi_x && gy != lo_y &&
+              gy != hi_y) {
+            continue;
+          }
+          visit(gx, gy);
+        }
+      }
+    }
+    DUALRAD_CHECK(best != kInvalidNode, "no covered node found for wiring");
+    g.add_undirected_edge(static_cast<NodeId>(v), best);
+    if (!gp.has_edge(static_cast<NodeId>(v), best)) {
+      gp.add_undirected_edge(static_cast<NodeId>(v), best);
+    }
+    flood(static_cast<NodeId>(v));
+  }
+  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+}
+
 }  // namespace dualrad::duals

@@ -69,4 +69,38 @@ struct BackboneParams {
 /// reliable part of `net`.
 [[nodiscard]] DualGraph strip_unreliable(const DualGraph& net);
 
+/// Sparse random layered dual network for large-n workloads (the scale/*
+/// scenarios and bench_engine_scaling). n = 1 + layers * width nodes: a
+/// single source in layer 0, then `layers` layers of `width` nodes. Each
+/// node of layer i >= 1 draws `fwd_degree` random parents in layer i-1
+/// (reliable, undirected); each node of layer i >= 2 additionally draws
+/// `unreliable_degree` random contacts in layer i-2 (G'-only, undirected) —
+/// long "skip" links that exist but cannot be relied upon. Degrees stay
+/// O(fwd_degree + unreliable_degree) regardless of n, so 10^5-node networks
+/// fit comfortably in memory, unlike the complete-G' layered family.
+struct LayeredSparseParams {
+  NodeId layers = 100;
+  NodeId width = 32;
+  NodeId fwd_degree = 3;
+  NodeId unreliable_degree = 2;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] DualGraph layered_sparse(const LayeredSparseParams& params);
+
+/// Grid-bucketed gray-zone geometric network: the same model as gray_zone
+/// (uniform points; reliable edges below r_reliable, unreliable in the
+/// (r_reliable, r_gray] ring; stranded nodes wired to their nearest covered
+/// node) but with radii scaled so the expected reliable degree is
+/// `mean_degree` and with O(n)-expected construction via spatial hashing —
+/// usable at n = 10^5 where the all-pairs gray_zone builder is not.
+struct GrayZoneGridParams {
+  NodeId n = 1000;
+  /// Expected reliable degree; r_reliable = sqrt(mean_degree / (pi n)).
+  double mean_degree = 12.0;
+  /// r_gray = gray_factor * r_reliable.
+  double gray_factor = 1.5;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] DualGraph gray_zone_grid(const GrayZoneGridParams& params);
+
 }  // namespace dualrad::duals

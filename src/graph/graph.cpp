@@ -69,4 +69,32 @@ bool Graph::is_subgraph_of(const Graph& other) const {
       [&](const auto& e) { return other.has_edge(e.first, e.second); });
 }
 
+CsrGraph::CsrGraph(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DUALRAD_REQUIRE(g.edge_count() < (std::uint64_t{1} << 32),
+                  "CSR snapshot supports < 2^32 edges");
+  offsets_.resize(n + 1, 0);
+  targets_.reserve(g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto& nbrs = g.out_neighbors(u);
+    offsets_[static_cast<std::size_t>(u) + 1] =
+        offsets_[static_cast<std::size_t>(u)] +
+        static_cast<std::uint32_t>(nbrs.size());
+    targets_.insert(targets_.end(), nbrs.begin(), nbrs.end());
+  }
+  sorted_ = targets_;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto uu = static_cast<std::size_t>(u);
+    std::sort(sorted_.begin() + offsets_[uu], sorted_.begin() + offsets_[uu + 1]);
+  }
+}
+
+bool CsrGraph::contains(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= node_count() || v >= node_count()) return false;
+  const auto uu = static_cast<std::size_t>(u);
+  const auto begin = sorted_.begin() + offsets_[uu];
+  const auto end = sorted_.begin() + offsets_[uu + 1];
+  return std::binary_search(begin, end, v);
+}
+
 }  // namespace dualrad

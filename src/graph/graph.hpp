@@ -2,18 +2,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
 #include "core/types.hpp"
 
 /// \file graph.hpp
-/// A simple directed graph with O(1) edge lookup and in/out adjacency lists.
+/// A simple directed graph with O(1) edge lookup and in/out adjacency lists,
+/// plus a frozen CSR (compressed sparse row) snapshot for hot paths.
 ///
 /// Graphs in the dual graph model (Section 2.1) are directed; a network is
-/// called *undirected* when every edge appears in both directions. This class
-/// therefore stores directed edges and provides helpers for symmetric
-/// insertion and symmetry checking.
+/// called *undirected* when every edge appears in both directions. The
+/// `Graph` class therefore stores directed edges and provides helpers for
+/// symmetric insertion and symmetry checking. `Graph` is the mutable
+/// *builder*; performance-sensitive consumers (the round engine, the trace
+/// auditor) freeze it into a `CsrGraph` once per execution and iterate flat
+/// arrays instead of a vector-of-vectors.
 
 namespace dualrad {
 
@@ -79,6 +84,45 @@ class Graph {
   std::vector<std::vector<NodeId>> in_{};
   std::unordered_set<std::uint64_t> edge_set_{};
   std::vector<std::pair<NodeId, NodeId>> edge_list_{};
+};
+
+/// Immutable CSR snapshot of a Graph's out-adjacency.
+///
+/// Two flat arrays replace the per-node neighbor vectors: `offsets_[u]`
+/// indexes into `targets_`, and `row(u)` returns the out-neighbors of `u`
+/// *in the builder's insertion order* — the round engine relies on that
+/// order matching `Graph::out_neighbors` exactly, so executions are
+/// bit-identical whichever representation delivers the messages. A per-row
+/// sorted copy backs `contains()` (binary search), replacing the builder's
+/// hash-set lookup on membership-heavy paths.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Graph& g);
+
+  [[nodiscard]] NodeId node_count() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t edge_count() const { return targets_.size(); }
+
+  /// Out-neighbors of u, in the order they were added to the builder.
+  [[nodiscard]] std::span<const NodeId> row(NodeId u) const {
+    const auto uu = static_cast<std::size_t>(u);
+    return {targets_.data() + offsets_[uu], offsets_[uu + 1] - offsets_[uu]};
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId u) const {
+    const auto uu = static_cast<std::size_t>(u);
+    return offsets_[uu + 1] - offsets_[uu];
+  }
+
+  /// True iff the directed edge (u, v) exists. O(log out_degree(u)).
+  [[nodiscard]] bool contains(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<std::uint32_t> offsets_{};  ///< size node_count() + 1
+  std::vector<NodeId> targets_{};         ///< insertion order per row
+  std::vector<NodeId> sorted_{};          ///< per-row sorted copy of targets_
 };
 
 }  // namespace dualrad

@@ -12,10 +12,14 @@ Summary summarize(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
   s.min = samples.front();
   s.max = samples.back();
-  s.median = samples[samples.size() / 2];
-  s.p90 = samples[static_cast<std::size_t>(
-      std::min<double>(static_cast<double>(samples.size()) - 1,
-                       std::floor(0.9 * static_cast<double>(samples.size()))))];
+  const std::size_t mid = samples.size() / 2;
+  s.median = samples.size() % 2 == 1
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  // Nearest-rank percentile: rank ceil(0.9 n), 1-based.
+  const auto p90_rank = static_cast<std::size_t>(
+      std::ceil(0.9 * static_cast<double>(samples.size())));
+  s.p90 = samples[std::max<std::size_t>(p90_rank, 1) - 1];
   double sum = 0.0;
   for (double x : samples) sum += x;
   s.mean = sum / static_cast<double>(samples.size());

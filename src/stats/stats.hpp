@@ -16,7 +16,10 @@ struct Summary {
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Middle element for odd counts; the average of the two middle elements
+  /// for even counts.
   double median = 0.0;
+  /// Nearest-rank 90th percentile: the element of 1-based rank ceil(0.9 n).
   double p90 = 0.0;
 };
 

@@ -237,6 +237,39 @@ TEST(Simulator, SendAndCollisionCounters) {
   EXPECT_EQ(result.trace.senders_per_round[1], 1u);
 }
 
+TEST(Simulator, CollisionEventsExcludeSendersUnderCR2ToCR4) {
+  // Regression: on a 3-clique with nodes 0 and 1 both sending, every node
+  // is reached by two messages. Under CR1 all three observe a collision;
+  // under CR2-CR4 the two senders deterministically hear their own message,
+  // so only the non-sender (node 2) observes one.
+  for (const CollisionRule rule :
+       {CollisionRule::CR2, CollisionRule::CR3, CollisionRule::CR4}) {
+    Graph g = gen::clique(3);
+    const DualGraph net = make_classical(std::move(g), 0);
+    BenignAdversary adversary;
+    const auto factory = scripted_factory({{0, {1}}, {1, {1}}});
+    const SimResult result =
+        run_broadcast(net, factory, adversary, sync_config(rule, 1));
+    EXPECT_EQ(result.total_collision_events, 1u) << to_string(rule);
+    EXPECT_EQ(result.trace.collisions_per_round[0], 1u) << to_string(rule);
+  }
+}
+
+TEST(Simulator, SoleSenderProducesNoCollisionEvents) {
+  // A lone sender's own message reaching it is one arrival, never a
+  // collision — under any rule.
+  for (const CollisionRule rule : {CollisionRule::CR1, CollisionRule::CR2,
+                                   CollisionRule::CR3, CollisionRule::CR4}) {
+    Graph g = gen::clique(3);
+    const DualGraph net = make_classical(std::move(g), 0);
+    BenignAdversary adversary;
+    const auto factory = scripted_factory({{0, {1}}});
+    const SimResult result =
+        run_broadcast(net, factory, adversary, sync_config(rule, 1));
+    EXPECT_EQ(result.total_collision_events, 0u) << to_string(rule);
+  }
+}
+
 TEST(Simulator, ProcMappingIsPermutation) {
   const DualGraph net = tiny_net();
   BenignAdversary adversary;

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/decay.hpp"
+#include "algorithms/harmonic.hpp"
+#include "algorithms/round_robin_bcast.hpp"
+#include "algorithms/strong_select.hpp"
+#include "algorithms/uniform_gossip.hpp"
+#include "campaign/builtin_scenarios.hpp"
+#include "campaign/engine.hpp"
+#include "core/reference_engine.hpp"
+#include "core/rng.hpp"
+#include "core/simulator.hpp"
+#include "graph/dual_builders.hpp"
+#include "graph/generators.hpp"
+#include "mac/bmmb.hpp"
+
+/// The sparse CSR engine (run_broadcast) must be *bit-identical* to the
+/// dense reference engine (run_broadcast_reference) — same SimResult down to
+/// trace vectors and process metrics — for every network, algorithm,
+/// adversary, collision rule, start rule, and token count. These tests sweep
+/// randomized small executions across the full model surface and then
+/// replay the entire builtin campaign grid through both engines with the
+/// campaign's own trial seeds.
+
+namespace dualrad {
+namespace {
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.completion_round, b.completion_round) << label;
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed) << label;
+  EXPECT_EQ(a.first_token, b.first_token) << label;
+  EXPECT_EQ(a.token_first, b.token_first) << label;
+  EXPECT_EQ(a.process_of_node, b.process_of_node) << label;
+  EXPECT_EQ(a.total_sends, b.total_sends) << label;
+  EXPECT_EQ(a.total_collision_events, b.total_collision_events) << label;
+  EXPECT_EQ(a.trace.level, b.trace.level) << label;
+  EXPECT_EQ(a.trace.senders_per_round, b.trace.senders_per_round) << label;
+  EXPECT_EQ(a.trace.collisions_per_round, b.trace.collisions_per_round)
+      << label;
+  ASSERT_EQ(a.trace.rounds.size(), b.trace.rounds.size()) << label;
+  for (std::size_t r = 0; r < a.trace.rounds.size(); ++r) {
+    const RoundRecord& ra = a.trace.rounds[r];
+    const RoundRecord& rb = b.trace.rounds[r];
+    EXPECT_EQ(ra.round, rb.round) << label;
+    EXPECT_EQ(ra.receptions, rb.receptions) << label << " round " << ra.round;
+    ASSERT_EQ(ra.senders.size(), rb.senders.size())
+        << label << " round " << ra.round;
+    for (std::size_t s = 0; s < ra.senders.size(); ++s) {
+      EXPECT_EQ(ra.senders[s].node, rb.senders[s].node) << label;
+      EXPECT_EQ(ra.senders[s].message, rb.senders[s].message) << label;
+      EXPECT_EQ(ra.senders[s].reached, rb.senders[s].reached) << label;
+    }
+  }
+  ASSERT_EQ(a.process_metrics.size(), b.process_metrics.size()) << label;
+  for (std::size_t i = 0; i < a.process_metrics.size(); ++i) {
+    EXPECT_EQ(a.process_metrics[i].node, b.process_metrics[i].node) << label;
+    EXPECT_EQ(a.process_metrics[i].pid, b.process_metrics[i].pid) << label;
+    EXPECT_EQ(a.process_metrics[i].name, b.process_metrics[i].name) << label;
+    EXPECT_EQ(a.process_metrics[i].value, b.process_metrics[i].value) << label;
+  }
+}
+
+/// Run one spec through both engines (each with its own fresh adversary)
+/// and compare.
+void run_both(const DualGraph& net, const ProcessFactory& factory,
+              const campaign::AdversaryFactory& adversary,
+              const SimConfig& config, const std::string& label) {
+  const auto adv_a = adversary(mix_seed(config.seed, 0xAD));
+  const auto adv_b = adversary(mix_seed(config.seed, 0xAD));
+  const SimResult fast = run_broadcast(net, factory, *adv_a, config);
+  const SimResult reference =
+      run_broadcast_reference(net, factory, *adv_b, config);
+  expect_identical(fast, reference, label);
+}
+
+using AlgorithmFactory = ProcessFactory (*)(NodeId);
+
+ProcessFactory decay_algo(NodeId n) { return make_decay_factory(n); }
+ProcessFactory harmonic_algo(NodeId n) {
+  return make_harmonic_factory(n, {.eps = 0.2});
+}
+ProcessFactory gossip_algo(NodeId n) { return make_uniform_gossip_factory(n); }
+ProcessFactory round_robin_algo(NodeId n) {
+  return make_round_robin_factory(n);
+}
+ProcessFactory strong_select_algo(NodeId n) {
+  return make_strong_select_factory(n);
+}
+
+TEST(EngineEquivalence, RandomSmallScenarios) {
+  // Sweep: every collision rule x start rule, cycling through algorithms,
+  // adversaries, and randomized small dual networks (n <= 64). Full traces,
+  // so divergence anywhere in delivery, reception, or accounting is caught.
+  const std::vector<std::pair<const char*, AlgorithmFactory>> algorithms = {
+      {"decay", decay_algo},
+      {"harmonic", harmonic_algo},
+      {"gossip", gossip_algo},
+      {"round-robin", round_robin_algo},
+      {"strong-select", strong_select_algo},
+  };
+  const std::vector<std::pair<const char*, campaign::AdversaryFactory>>
+      adversaries = {
+          {"benign", campaign::make_adversary_factory<BenignAdversary>()},
+          {"full-interference",
+           campaign::make_adversary_factory<FullInterferenceAdversary>(
+               /*deliver_on_cr4=*/true)},
+          {"bernoulli",
+           campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.5)},
+          {"greedy", campaign::make_adversary_factory<GreedyBlockerAdversary>()},
+      };
+  const std::vector<std::pair<const char*, DualGraph>> networks = {
+      {"layered", duals::layered_complete_gprime(5, 4)},
+      {"grayzone", duals::gray_zone({.n = 40, .seed = 9})},
+      {"backbone", duals::backbone_plus_unreliable({.n = 64, .seed = 4})},
+      {"layered-sparse",
+       duals::layered_sparse(
+           {.layers = 8, .width = 6, .fwd_degree = 2, .unreliable_degree = 1,
+            .seed = 5})},
+      {"grayzone-grid",
+       duals::gray_zone_grid({.n = 48, .mean_degree = 6.0, .seed = 11})},
+      {"bridge", duals::bridge_network(12)},
+  };
+
+  std::size_t combo = 0;
+  for (const CollisionRule rule : {CollisionRule::CR1, CollisionRule::CR2,
+                                   CollisionRule::CR3, CollisionRule::CR4}) {
+    for (const StartRule start :
+         {StartRule::Synchronous, StartRule::Asynchronous}) {
+      for (std::size_t i = 0; i < 4; ++i, ++combo) {
+        const auto& [algo_name, algo] = algorithms[combo % algorithms.size()];
+        const auto& [adv_name, adversary] =
+            adversaries[(combo / 2) % adversaries.size()];
+        const auto& [net_name, net] = networks[(combo / 3) % networks.size()];
+        SimConfig config;
+        config.rule = rule;
+        config.start = start;
+        config.max_rounds = 30'000;
+        config.seed = mix_seed(1234, combo);
+        config.trace = TraceLevel::Full;
+        run_both(net, algo(net.node_count()), adversary, config,
+                 std::string(algo_name) + "/" + net_name + "/" + adv_name +
+                     "/" + to_string(rule) + "/" + to_string(start));
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, MultiTokenExecutions) {
+  // k in {1, 4} tokens via BMMB-over-DecayMac — the layered MAC processes
+  // use neither scheduling hint, so this exercises the engine's
+  // per-round-polling fallback path with multi-token bookkeeping.
+  const DualGraph layered = duals::layered_complete_gprime(6, 4);
+  const DualGraph grayzone = duals::gray_zone({.n = 32, .seed = 6});
+  for (const DualGraph* net : {&layered, &grayzone}) {
+    for (const TokenId k : {TokenId{1}, TokenId{4}}) {
+      for (const StartRule start :
+           {StartRule::Synchronous, StartRule::Asynchronous}) {
+        SimConfig config;
+        config.start = start;
+        config.max_rounds = 200'000;
+        config.seed = mix_seed(77, static_cast<std::uint64_t>(k));
+        config.trace = TraceLevel::Counts;
+        config.token_sources = mac::spread_token_sources(*net, k);
+        run_both(*net, mac::make_bmmb_factory(net->node_count()),
+                 campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.3),
+                 config,
+                 "bmmb/k=" + std::to_string(k) + "/" + to_string(start));
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, StopOnCompletionOffMatchesToo) {
+  // Running past completion (termination experiments) must agree as well.
+  const DualGraph net = duals::layered_complete_gprime(4, 3);
+  SimConfig config;
+  config.max_rounds = 2'000;
+  config.stop_on_completion = false;
+  config.seed = 5;
+  config.trace = TraceLevel::Full;
+  run_both(net, make_decay_factory(net.node_count()),
+           campaign::make_adversary_factory<BenignAdversary>(), config,
+           "decay/no-stop");
+}
+
+TEST(EngineEquivalence, BuiltinCampaignGridIsBitIdentical) {
+  // Replay the builtin catalogue through both engines with the campaign's
+  // own derived trial seeds (master seed 1, trial 0 — exactly what
+  // run_campaign hands the simulator), proving the production engine swap
+  // does not shift a single campaign number. The 100k "slow" points are
+  // exercised by bench_engine_scaling instead; everything else runs here.
+  const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+  std::size_t checked = 0;
+  for (const campaign::Scenario& s : registry.all()) {
+    bool slow = false;
+    for (const std::string& tag : s.tags) slow = slow || tag == "slow";
+    if (slow) continue;
+    ASSERT_FALSE(static_cast<bool>(s.runner))
+        << s.name << ": differential replay assumes the default trial body";
+    const DualGraph net = s.network();
+    const ProcessFactory factory = s.algorithm(net);
+    SimConfig config;
+    config.rule = s.rule;
+    config.start = s.start;
+    config.max_rounds = s.max_rounds;
+    config.seed = campaign::trial_seed(1, s.name, 0);
+    config.token_sources = s.token_sources;
+    const auto adv_a = s.adversary(mix_seed(config.seed, 0xAD));
+    const auto adv_b = s.adversary(mix_seed(config.seed, 0xAD));
+    const SimResult fast = run_broadcast(net, factory, *adv_a, config);
+    const SimResult reference =
+        run_broadcast_reference(net, factory, *adv_b, config);
+    expect_identical(fast, reference, s.name);
+    ++checked;
+  }
+  EXPECT_GE(checked, 20u);
+}
+
+}  // namespace
+}  // namespace dualrad

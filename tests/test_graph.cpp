@@ -66,6 +66,78 @@ TEST(Graph, MaxDegrees) {
   EXPECT_EQ(g.max_in_degree(), 4u);
 }
 
+TEST(CsrGraph, SnapshotPreservesInsertionOrder) {
+  Graph g(5);
+  g.add_edge(0, 3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  const CsrGraph csr(g);
+  EXPECT_EQ(csr.node_count(), 5);
+  EXPECT_EQ(csr.edge_count(), 4u);
+  // Rows must mirror Graph::out_neighbors exactly — the round engine's
+  // arrival order (and thus bit-identical execution) depends on it.
+  for (NodeId u = 0; u < 5; ++u) {
+    const auto row = csr.row(u);
+    ASSERT_EQ(row.size(), g.out_neighbors(u).size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(row[i], g.out_neighbors(u)[i]);
+    }
+    EXPECT_EQ(csr.out_degree(u), g.out_degree(u));
+  }
+}
+
+TEST(CsrGraph, ContainsMatchesHasEdge) {
+  const Graph g = gen::gnp_connected(40, 0.15, 3);
+  const CsrGraph csr(g);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(csr.contains(u, v), g.has_edge(u, v)) << u << "->" << v;
+    }
+  }
+  EXPECT_FALSE(csr.contains(-1, 0));
+  EXPECT_FALSE(csr.contains(0, 40));
+}
+
+TEST(CsrGraph, EmptyAndIsolatedNodes) {
+  const CsrGraph empty{};
+  EXPECT_EQ(empty.node_count(), 0);
+  Graph g(3);  // no edges at all
+  const CsrGraph csr(g);
+  EXPECT_EQ(csr.edge_count(), 0u);
+  EXPECT_TRUE(csr.row(1).empty());
+  EXPECT_FALSE(csr.contains(0, 1));
+}
+
+TEST(ScaleFamilies, LayeredSparseIsValidAndBoundedDegree) {
+  const duals::LayeredSparseParams params{
+      .layers = 20, .width = 10, .fwd_degree = 3, .unreliable_degree = 2,
+      .seed = 7};
+  // DualGraph construction validates E subset of E' and source reachability.
+  const DualGraph net = duals::layered_sparse(params);
+  EXPECT_EQ(net.node_count(), 201);
+  EXPECT_TRUE(net.is_undirected());
+  // Degrees stay O(fwd + unreliable) regardless of n: each node draws at
+  // most 3 parents, receives expected 3 child links, and 2+2 skip links.
+  EXPECT_LE(net.g_prime().max_in_degree(), 60u);
+  EXPECT_GT(net.unreliable_edge_count(), 0u);
+  // Deterministic: same params, same network.
+  EXPECT_TRUE(net.g() == duals::layered_sparse(params).g());
+}
+
+TEST(ScaleFamilies, GrayZoneGridIsValidAndDeterministic) {
+  const duals::GrayZoneGridParams params{.n = 300, .mean_degree = 9.0,
+                                         .seed = 13};
+  const DualGraph net = duals::gray_zone_grid(params);
+  EXPECT_EQ(net.node_count(), 300);
+  EXPECT_TRUE(net.is_undirected());
+  EXPECT_GT(net.unreliable_edge_count(), 0u);
+  EXPECT_TRUE(net.g() == duals::gray_zone_grid(params).g());
+  // Every node reachable (the constructor asserts it; double-check here).
+  const auto d = graphalg::bfs_distances(net.g(), 0);
+  for (Round dist : d) EXPECT_NE(dist, kNever);
+}
+
 TEST(GraphAlg, BfsDistancesOnPath) {
   Graph g = gen::path(5);
   const auto d = graphalg::bfs_distances(g, 0);

@@ -21,6 +21,31 @@ TEST(Stats, SummaryBasics) {
   EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
 }
 
+TEST(Stats, EvenCountMedianAveragesMiddlePair) {
+  // Regression: the median of an even-sized sample is the average of the
+  // two middle elements, not the upper one.
+  const auto s = stats::summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  const auto t = stats::summarize({10, 20});
+  EXPECT_DOUBLE_EQ(t.median, 15.0);
+}
+
+TEST(Stats, P90IsNearestRank) {
+  // Regression: for n = 10 the nearest-rank 90th percentile is the 9th
+  // sorted value (rank ceil(0.9 * 10) = 9), not the maximum.
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(stats::summarize(ten).p90, 9.0);
+  // n = 5: rank ceil(4.5) = 5 -> the maximum.
+  EXPECT_DOUBLE_EQ(stats::summarize({1, 2, 3, 4, 5}).p90, 5.0);
+  // n = 1: the only sample.
+  EXPECT_DOUBLE_EQ(stats::summarize({7}).p90, 7.0);
+  // n = 20: rank 18.
+  std::vector<double> twenty;
+  for (int i = 1; i <= 20; ++i) twenty.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(stats::summarize(twenty).p90, 18.0);
+}
+
 TEST(Stats, SummaryEmptyAndSingle) {
   EXPECT_EQ(stats::summarize({}).count, 0u);
   const auto s = stats::summarize({7});
