@@ -6,7 +6,8 @@ std::vector<ReachChoice> FullInterferenceAdversary::choose_unreliable_reach(
     const AdversaryView& view, const std::vector<NodeId>& senders) {
   std::vector<ReachChoice> out(senders.size());
   for (std::size_t i = 0; i < senders.size(); ++i) {
-    out[i].extra = view.net->unreliable_out(senders[i]);
+    const auto extra = view.net->unreliable_out(senders[i]);
+    out[i].extra.assign(extra.begin(), extra.end());
   }
   return out;
 }

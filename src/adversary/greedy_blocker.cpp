@@ -5,7 +5,7 @@ namespace dualrad {
 std::vector<ReachChoice> GreedyBlockerAdversary::choose_unreliable_reach(
     const AdversaryView& view, const std::vector<NodeId>& senders) {
   const DualGraph& net = *view.net;
-  const std::vector<bool>& covered = *view.covered;
+  const NodeFlags& covered = *view.covered;
   const auto n = static_cast<std::size_t>(net.node_count());
 
   // Reliable arrival counts at every node (sender self-arrivals included:
@@ -16,7 +16,7 @@ std::vector<ReachChoice> GreedyBlockerAdversary::choose_unreliable_reach(
   for (NodeId u : senders) {
     is_sender[static_cast<std::size_t>(u)] = true;
     ++reliable_arrivals[static_cast<std::size_t>(u)];  // own message
-    for (NodeId v : net.g().out_neighbors(u)) {
+    for (NodeId v : net.g_csr().row(u)) {
       ++reliable_arrivals[static_cast<std::size_t>(v)];
     }
   }

@@ -11,7 +11,8 @@ std::vector<ReachChoice> Theorem2Adversary::choose_unreliable_reach(
   if (senders.size() >= 2) {
     // Rule 1: every message reaches everyone.
     for (std::size_t i = 0; i < senders.size(); ++i) {
-      out[i].extra = net.unreliable_out(senders[i]);
+      const auto extra = net.unreliable_out(senders[i]);
+      out[i].extra.assign(extra.begin(), extra.end());
     }
     return out;
   }
@@ -20,7 +21,8 @@ std::vector<ReachChoice> Theorem2Adversary::choose_unreliable_reach(
   if (u == layout_.receiver) {
     // Rule 3 (receiver): reach everyone; its only reliable edge is to the
     // bridge, the rest are unreliable.
-    out.front().extra = net.unreliable_out(u);
+    const auto extra = net.unreliable_out(u);
+    out.front().extra.assign(extra.begin(), extra.end());
   }
   // Rule 3 (bridge): reliable edges already cover everyone; no extras.
   // Rule 2 (clique non-bridge): reliable edges cover exactly C; no extras.

@@ -1,5 +1,6 @@
 #include "algorithms/cms_oblivious.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "algorithms/broadcast_algorithm.hpp"
@@ -22,6 +23,30 @@ class CmsObliviousProcess final : public TokenProcess {
     return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
                                     /*round_tag=*/round, /*payload=*/0});
   }
+
+  /// Exact hint off the family's precomputed membership index: the first
+  /// round >= `from` whose selector set contains this id. An SSF round
+  /// carries O(k) of n senders, so the calendar elision is what keeps CMS
+  /// runs (period = |F| rounds per iteration) off the per-round poll path.
+  [[nodiscard]] Round next_send_round(Round from) const override {
+    if (!has_token()) return kNever;
+    const std::vector<std::uint32_t>& mine = family_->sets_containing(id());
+    if (mine.empty()) return kNever;
+    from = std::max(from, token_round() + 1);
+    const auto period = static_cast<Round>(family_->size());
+    const Round offset = (from - 1) % period;
+    Round cycle_start = from - 1 - offset;  // round before this period began
+    auto it = std::lower_bound(mine.begin(), mine.end(),
+                               static_cast<std::uint32_t>(offset));
+    if (it == mine.end()) {
+      cycle_start += period;
+      it = mine.begin();
+    }
+    return cycle_start + static_cast<Round>(*it) + 1;
+  }
+
+  /// State is the token round only; silence receptions are no-ops.
+  [[nodiscard]] bool silence_transparent() const override { return true; }
 
   [[nodiscard]] std::unique_ptr<Process> clone() const override {
     return std::make_unique<CmsObliviousProcess>(*this);

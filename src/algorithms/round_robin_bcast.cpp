@@ -1,5 +1,7 @@
 #include "algorithms/round_robin_bcast.hpp"
 
+#include <algorithm>
+
 #include "algorithms/broadcast_algorithm.hpp"
 
 namespace dualrad {
@@ -16,6 +18,20 @@ class RoundRobinProcess final : public TokenProcess {
     return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
                                     /*round_tag=*/round, /*payload=*/0});
   }
+
+  /// The schedule is closed-form — the next round >= `from` congruent to
+  /// id (mod n) once the token is held — so the sparse engine's calendar
+  /// elides the n - 1 silent rounds of every cycle exactly.
+  [[nodiscard]] Round next_send_round(Round from) const override {
+    if (!has_token()) return kNever;
+    from = std::max(from, token_round() + 1);
+    Round delta = (id() % n_) - (from % n_);
+    if (delta < 0) delta += n_;
+    return from + delta;
+  }
+
+  /// State is the token round only; silence receptions are no-ops.
+  [[nodiscard]] bool silence_transparent() const override { return true; }
 
   [[nodiscard]] std::unique_ptr<Process> clone() const override {
     return std::make_unique<RoundRobinProcess>(*this);

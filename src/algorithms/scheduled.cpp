@@ -1,5 +1,6 @@
 #include "algorithms/scheduled.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "algorithms/broadcast_algorithm.hpp"
@@ -10,7 +11,11 @@ namespace {
 class ScheduledProcess final : public TokenProcess {
  public:
   ScheduledProcess(ProcessId id, std::shared_ptr<const std::vector<ProcessId>> slots)
-      : TokenProcess(id), slots_(std::move(slots)) {}
+      : TokenProcess(id), slots_(std::move(slots)) {
+    for (std::size_t s = 0; s < slots_->size(); ++s) {
+      if ((*slots_)[s] == id) my_slots_.push_back(static_cast<Round>(s));
+    }
+  }
   ScheduledProcess(const ScheduledProcess&) = default;
 
   [[nodiscard]] Action next_action(Round round) const override {
@@ -23,12 +28,33 @@ class ScheduledProcess final : public TokenProcess {
                                     /*round_tag=*/round, /*payload=*/0});
   }
 
+  /// Exact hint: the first round >= `from` whose schedule slot names this
+  /// process (my_slots_ holds its slot offsets within a period, ascending);
+  /// kNever for processes the schedule omits entirely.
+  [[nodiscard]] Round next_send_round(Round from) const override {
+    if (!has_token() || my_slots_.empty()) return kNever;
+    from = std::max(from, token_round() + 1);
+    const auto period = static_cast<Round>(slots_->size());
+    const Round offset = (from - 1) % period;
+    Round cycle_start = from - 1 - offset;  // round before this period began
+    auto it = std::lower_bound(my_slots_.begin(), my_slots_.end(), offset);
+    if (it == my_slots_.end()) {
+      cycle_start += period;
+      it = my_slots_.begin();
+    }
+    return cycle_start + *it + 1;
+  }
+
+  /// State is the token round only; silence receptions are no-ops.
+  [[nodiscard]] bool silence_transparent() const override { return true; }
+
   [[nodiscard]] std::unique_ptr<Process> clone() const override {
     return std::make_unique<ScheduledProcess>(*this);
   }
 
  private:
   std::shared_ptr<const std::vector<ProcessId>> slots_;
+  std::vector<Round> my_slots_;  ///< slot indices within a period, ascending
 };
 
 }  // namespace

@@ -113,9 +113,11 @@ namespace {
 
 [[nodiscard]] AlgorithmBuilder cms() {
   return [](const DualGraph& net) {
+    // The CSR snapshot answers max_in_degree without materializing a Graph
+    // view (CSR-built networks have none until asked).
     return make_cms_oblivious_factory(
         net.node_count(),
-        {.delta = static_cast<NodeId>(net.g_prime().max_in_degree())});
+        {.delta = static_cast<NodeId>(net.g_prime_csr().max_in_degree())});
   };
 }
 
@@ -290,25 +292,30 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
                 .max_rounds = 100'000,
                 .trials = 3});
 
-  // --- Engine-scaling workloads: 10^3..10^5 nodes on sparse families. ---
+  // --- Engine-scaling workloads: 10^3..10^6 nodes on sparse families. ---
   // Decay under asynchronous start keeps the awake set equal to the covered
   // set, which is exactly the regime the sparse CSR engine is built for;
   // bench_engine_scaling measures these same scenarios against the dense
-  // reference engine. The 100k instances are tagged "slow" so quick filters
-  // skip them; one trial each keeps a full-catalogue run tractable.
+  // reference engine (and, at 100k+, the serial kernel against the sharded
+  // parallel one). The 100k instances are tagged "slow" and the 10^6
+  // instances additionally "1m" so quick filters skip them; one trial each
+  // keeps a full-catalogue run tractable.
   struct ScalePoint {
     const char* label;
     NetworkBuilder network;
     std::size_t trials;
     bool slow;
+    bool huge;
   };
   const ScalePoint scale_points[] = {
-      {"layered-1k", scale_layered(50, 20), 3, false},
-      {"layered-10k", scale_layered(125, 80), 2, false},
-      {"layered-100k", scale_layered(250, 400), 1, true},
-      {"grayzone-1k", scale_grayzone(1'000), 3, false},
-      {"grayzone-10k", scale_grayzone(10'000), 2, false},
-      {"grayzone-100k", scale_grayzone(100'000), 1, true},
+      {"layered-1k", scale_layered(50, 20), 3, false, false},
+      {"layered-10k", scale_layered(125, 80), 2, false, false},
+      {"layered-100k", scale_layered(250, 400), 1, true, false},
+      {"layered-1m", scale_layered(500, 2'000), 1, true, true},
+      {"grayzone-1k", scale_grayzone(1'000), 3, false, false},
+      {"grayzone-10k", scale_grayzone(10'000), 2, false, false},
+      {"grayzone-100k", scale_grayzone(100'000), 1, true, false},
+      {"grayzone-1m", scale_grayzone(1'000'000), 1, true, true},
   };
   for (const ScalePoint& point : scale_points) {
     for (const bool noisy : {false, true}) {
@@ -322,6 +329,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
                              : " family over reliable links only");
       s.tags = {"scale", "randomized"};
       if (point.slow) s.tags.push_back("slow");
+      if (point.huge) s.tags.push_back("1m");
       s.network = point.network;
       s.algorithm =
           decay_windowed(/*active_phases=*/2, /*rebroadcast_period=*/32);

@@ -112,6 +112,7 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
     sim.max_rounds = p.spec->max_rounds;
     sim.seed = seed;
     sim.token_sources = p.spec->token_sources;
+    sim.threads = config.threads_per_trial;
     const auto started = std::chrono::steady_clock::now();
     const SimResult run =
         p.spec->runner ? p.spec->runner(p.net, p.factory, *adversary, sim)

@@ -71,6 +71,12 @@ struct CampaignConfig {
   /// Worker threads; 0 means hardware_concurrency (at least 1). The result
   /// does not depend on this.
   unsigned threads = 0;
+  /// SimConfig::threads of every trial: the sharded parallel round kernel
+  /// *within* one execution. Orthogonal to `threads` (trials x intra-trial
+  /// shards run concurrently); the result does not depend on it either —
+  /// the kernel's shard merge is deterministic, and tests/test_campaign.cpp
+  /// pins byte-identical exports across values.
+  unsigned threads_per_trial = 1;
   /// When nonzero, overrides every scenario's trial count.
   std::size_t trials_override = 0;
   /// Record per-trial wall time into TrialRow::wall_us (and summary

@@ -22,6 +22,12 @@
 
 namespace dualrad {
 
+/// Per-node boolean flags as plain bytes. The round engines share these
+/// arrays with the sharded parallel kernel, whose workers write disjoint
+/// node indices concurrently — legal on byte elements, a data race on
+/// std::vector<bool>'s packed words.
+using NodeFlags = std::vector<std::uint8_t>;
+
 /// Read-only view of execution state offered to adversaries. Worst-case
 /// adversaries may use all of it; restricted adversaries ignore most fields.
 struct AdversaryView {
@@ -31,7 +37,7 @@ struct AdversaryView {
   /// node -> whether the process there already holds at least one broadcast
   /// token (state *before* this round's deliveries). In the single-message
   /// problem this is exactly "holds the broadcast token".
-  const std::vector<bool>* covered = nullptr;
+  const NodeFlags* covered = nullptr;
   Round round = 0;
 };
 

@@ -75,11 +75,11 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                      [static_cast<std::size_t>(v)] != kNever;
   };
 
-  // CSR snapshots of both graphs drive the per-round reconstruction:
+  // The network's frozen CSR snapshots drive the per-round reconstruction:
   // g_csr.row for "every reliable edge delivered", gp_csr.contains for
   // "every reached node is a G' neighbor".
-  const CsrGraph g_csr(net.g());
-  const CsrGraph gp_csr(net.g_prime());
+  const CsrGraph& g_csr = net.g_csr();
+  const CsrGraph& gp_csr = net.g_prime_csr();
 
   // Epoch-stamped arrival slots (one epoch per trace record): count + first
   // message per node, full list spilled on collision, and a touched list so

@@ -15,6 +15,10 @@ SimResult run_broadcast_reference(const DualGraph& net,
 
   const NodeId n = net.node_count();
   const auto un = static_cast<std::size_t>(n);
+  // Hoisted Graph views: on CSR-built networks g()/g_prime() lock a lazy
+  // materialization mutex per call, which must not sit in the round loop.
+  const Graph& g = net.g();
+  const Graph& gp = net.g_prime();
 
   adversary.on_execution_start(net);
 
@@ -61,8 +65,9 @@ SimResult run_broadcast_reference(const DualGraph& net,
 
   std::vector<bool> awake(un, false);
   // covered[v]: the process at v holds at least one token (what the
-  // adversary view exposes); holds[t*n + v]: it holds token id t+1.
-  std::vector<bool> covered(un, false);
+  // adversary view exposes — NodeFlags, the type the parallel kernel needs);
+  // holds[t*n + v]: it holds token id t+1.
+  NodeFlags covered(un, 0);
   std::vector<bool> holds(k * un, false);
   result.token_first.assign(k, std::vector<Round>(un, kNever));
 
@@ -74,7 +79,7 @@ SimResult run_broadcast_reference(const DualGraph& net,
     const Message env_msg{/*token=*/static_cast<TokenId>(t + 1),
                           /*origin=*/kInvalidProcess,
                           /*round_tag=*/0, /*payload=*/0};
-    covered[src] = true;
+    covered[src] = 1;
     holds[t * un + src] = true;
     result.token_first[t][src] = 0;
     ++held_count;
@@ -91,6 +96,13 @@ SimResult run_broadcast_reference(const DualGraph& net,
   }
 
   result.trace.level = config.trace;
+  if (config.trace == TraceLevel::Bounded) {
+    DUALRAD_REQUIRE(config.trace_window >= 1,
+                    "bounded trace needs a positive window");
+    result.trace.window = config.trace_window;
+    result.trace.ring_senders.assign(config.trace_window, 0);
+    result.trace.ring_collisions.assign(config.trace_window, 0);
+  }
 
   // Reusable per-round buffers.
   std::vector<NodeId> senders;
@@ -145,12 +157,12 @@ SimResult run_broadcast_reference(const DualGraph& net,
         srec.node = u;
         srec.message = m;
       }
-      for (NodeId v : net.g().out_neighbors(u)) {
+      for (NodeId v : g.out_neighbors(u)) {
         arrivals[static_cast<std::size_t>(v)].push_back(m);
         if (full_trace) srec.reached.push_back(v);
       }
       for (NodeId v : reach[i].extra) {
-        DUALRAD_CHECK(net.g_prime().has_edge(u, v) && !net.g().has_edge(u, v),
+        DUALRAD_CHECK(gp.has_edge(u, v) && !g.has_edge(u, v),
                       "adversary chose a non-G'-only edge");
         arrivals[static_cast<std::size_t>(v)].push_back(m);
         if (full_trace) srec.reached.push_back(v);
@@ -220,7 +232,7 @@ SimResult run_broadcast_reference(const DualGraph& net,
       }
       if (rec.has_token()) {
         const auto t = static_cast<std::size_t>(rec.message->token - 1);
-        covered[uv] = true;
+        covered[uv] = 1;
         if (!holds[t * un + uv]) {
           holds[t * un + uv] = true;
           result.token_first[t][uv] = round;
@@ -229,10 +241,13 @@ SimResult run_broadcast_reference(const DualGraph& net,
       }
     }
 
-    if (config.trace != TraceLevel::None) {
+    if (config.trace == TraceLevel::Counts || full_trace) {
       result.trace.senders_per_round.push_back(
           static_cast<std::uint32_t>(senders.size()));
       result.trace.collisions_per_round.push_back(collision_events);
+    } else if (config.trace == TraceLevel::Bounded) {
+      result.trace.record_bounded_round(
+          round, static_cast<std::uint32_t>(senders.size()), collision_events);
     }
     if (full_trace) {
       record.receptions.assign(receptions.begin(), receptions.end());

@@ -1,6 +1,13 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
 
 #include "core/rng.hpp"
 #include "graph/graph.hpp"
@@ -11,11 +18,12 @@ namespace dualrad {
 ///
 /// The dense reference engine (core/reference_engine.cpp) spends O(n) per
 /// round scanning every node four times. This engine makes a round cost
-/// O(#polled-senders + #deliveries) instead:
+/// O(#polled senders + #deliveries) instead:
 ///
-///  * **CSR adjacency snapshot** — `net.g()` is frozen into a CsrGraph once
-///    per execution; message propagation walks flat rows in the builder's
-///    insertion order (bit-identical arrival order to the reference).
+///  * **CSR adjacency snapshots** — message propagation walks the network's
+///    frozen `g_csr()` rows (the builder's insertion order, so arrival order
+///    is bit-identical to the reference); `g_prime_csr()` backs the
+///    G'-membership validation of adversary reach choices.
 ///  * **Epoch-stamped arrival slots** — one packed slot per node: the
 ///    arrival round, a saturating arrival count, and the first arriving
 ///    sender (whose message is sent_msg[sender], so deposits copy no
@@ -34,6 +42,17 @@ namespace dualrad {
 ///  * **Silence elision** — processes that declare silence_transparent()
 ///    receive on_receive only for non-silence receptions; everyone else is
 ///    kept on the reference engine's per-round delivery via a `noisy` list.
+///  * **Sharded parallel round kernel** — with SimConfig::threads > 1, the
+///    heavy phases of a round (arrival deposits; reception + delivery) fan
+///    out over a worker pool. Nodes are partitioned into contiguous shards;
+///    each worker deposits into and delivers to only its own shard, so all
+///    per-node state writes are disjoint, and everything cross-shard
+///    (calendar replans, awake-list growth, token counts) is collected into
+///    per-shard buffers and merged serially in shard order. Every
+///    observable is per-node independent, so the SimResult is bit-identical
+///    for any thread count — tests/test_engine_equivalence.cpp proves it.
+///    Rounds with little work skip the pool and run inline (the partition
+///    does not change results, so the cutoff is pure scheduling).
 ///
 /// Everything observable — process call sequences modulo elided silent
 /// no-ops, adversary call order (senders ascending; CR4 resolutions in
@@ -104,6 +123,92 @@ class SendCalendar {
   std::vector<std::vector<NodeId>> buckets_;
 };
 
+/// Persistent pool for the sharded round kernel: `run(task)` executes
+/// task(w) for every shard index w in [0, shards), shard 0 on the calling
+/// thread, and returns once all shards finished. Workers sleep on a futex
+/// (C++20 atomic wait) between dispatches, so idle phases (polling, the
+/// adversary callback) cost nothing. Exceptions thrown inside a shard are
+/// captured and rethrown on the calling thread, lowest shard index first.
+class ShardPool {
+ public:
+  explicit ShardPool(unsigned shards)
+      : shards_(shards), errors_(shards) {
+    threads_.reserve(shards_ - 1);
+    for (unsigned w = 1; w < shards_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~ShardPool() {
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  template <class F>
+  void run(F&& task) {
+    using Fn = std::remove_reference_t<F>;
+    fn_ = [](void* ctx, unsigned w) { (*static_cast<Fn*>(ctx))(w); };
+    ctx_ = const_cast<void*>(static_cast<const void*>(std::addressof(task)));
+    dispatch();
+  }
+
+ private:
+  void dispatch() {
+    for (auto& e : errors_) e = nullptr;
+    pending_.store(shards_ - 1, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+    generation_.notify_all();
+    invoke(0);
+    unsigned left;
+    while ((left = pending_.load(std::memory_order_acquire)) != 0) {
+      pending_.wait(left, std::memory_order_acquire);
+    }
+    for (auto& e : errors_) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  void invoke(unsigned w) {
+    try {
+      fn_(ctx_, w);
+    } catch (...) {
+      errors_[w] = std::current_exception();
+    }
+  }
+
+  void worker_loop(unsigned w) {
+    // Baseline is the construction-time generation: a worker that starts
+    // after the first dispatch must still see it as new, not adopt it.
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::uint64_t gen;
+      while ((gen = generation_.load(std::memory_order_acquire)) == seen) {
+        generation_.wait(seen, std::memory_order_acquire);
+      }
+      seen = gen;
+      if (stop_.load(std::memory_order_acquire)) return;
+      invoke(w);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pending_.notify_all();
+      }
+    }
+  }
+
+  unsigned shards_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<unsigned> pending_{0};
+  std::atomic<bool> stop_{false};
+  void (*fn_)(void*, unsigned) = nullptr;
+  void* ctx_ = nullptr;
+};
+
 }  // namespace
 
 Simulator::Simulator(const DualGraph& net, ProcessFactory factory,
@@ -114,6 +219,9 @@ Simulator::Simulator(const DualGraph& net, ProcessFactory factory,
       config_(config) {
   DUALRAD_REQUIRE(config_.max_rounds >= 1, "max_rounds must be positive");
   DUALRAD_REQUIRE(static_cast<bool>(factory_), "process factory must be set");
+  DUALRAD_REQUIRE(config_.trace != TraceLevel::Bounded ||
+                      config_.trace_window >= 1,
+                  "bounded trace needs a positive window");
 }
 
 SimResult run_broadcast(const DualGraph& net, const ProcessFactory& factory,
@@ -126,10 +234,11 @@ SimResult Simulator::run() {
   const NodeId n = net_.node_count();
   const auto un = static_cast<std::size_t>(n);
 
-  // Flat adjacency snapshots for the hot path. csr_g drives propagation;
-  // csr_gp backs the G'-membership validation of adversary reach choices.
-  const CsrGraph csr_g(net_.g());
-  const CsrGraph csr_gp(net_.g_prime());
+  // Flat adjacency snapshots for the hot path, frozen once per network (not
+  // per execution). csr_g drives propagation; csr_gp backs the
+  // G'-membership validation of adversary reach choices.
+  const CsrGraph& csr_g = net_.g_csr();
+  const CsrGraph& csr_gp = net_.g_prime_csr();
 
   adversary_.on_execution_start(net_);
 
@@ -174,23 +283,25 @@ SimResult Simulator::run() {
     }
   }
 
-  std::vector<bool> awake(un, false);
+  // Per-node flags are byte arrays, not vector<bool>: the parallel kernel's
+  // workers write disjoint indices concurrently.
+  NodeFlags awake(un, 0);
   // covered[v]: the process at v holds at least one token (what the
   // adversary view exposes); holds[t*n + v]: it holds token id t+1.
-  std::vector<bool> covered(un, false);
-  std::vector<bool> holds(k * un, false);
+  NodeFlags covered(un, 0);
+  NodeFlags holds(k * un, 0);
   result.token_first.assign(k, std::vector<Round>(un, kNever));
 
   // Scheduling state. `transparent[v]` caches silence_transparent() of the
   // process at v (queried at activation); non-transparent awake nodes are
   // listed in `noisy` and get the reference engine's per-round delivery.
   SendCalendar calendar(un);
-  std::vector<bool> transparent(un, false);
+  NodeFlags transparent(un, 0);
   std::vector<NodeId> noisy;
   const auto activate_bookkeeping = [&](NodeId v, Round now) {
     const auto uv = static_cast<std::size_t>(v);
-    awake[uv] = true;
-    transparent[uv] = proc_at[uv]->silence_transparent();
+    awake[uv] = 1;
+    transparent[uv] = proc_at[uv]->silence_transparent() ? 1 : 0;
     if (!transparent[uv]) noisy.push_back(v);
     calendar.plan(v, proc_at[uv]->next_send_round(now + 1), now);
   };
@@ -203,8 +314,8 @@ SimResult Simulator::run() {
     const Message env_msg{/*token=*/static_cast<TokenId>(t + 1),
                           /*origin=*/kInvalidProcess,
                           /*round_tag=*/0, /*payload=*/0};
-    covered[src] = true;
-    holds[t * un + src] = true;
+    covered[src] = 1;
+    holds[t * un + src] = 1;
     result.token_first[t][src] = 0;
     ++held_count;
     proc_at[src]->on_activate(0, env_msg);
@@ -220,12 +331,46 @@ SimResult Simulator::run() {
 
   result.trace.level = config_.trace;
   const bool full_trace = config_.trace == TraceLevel::Full;
+  const bool counted_trace =
+      config_.trace == TraceLevel::Counts || full_trace;
+  if (config_.trace == TraceLevel::Bounded) {
+    result.trace.window = config_.trace_window;
+    result.trace.ring_senders.assign(config_.trace_window, 0);
+    result.trace.ring_collisions.assign(config_.trace_window, 0);
+  }
+
+  // --- Sharded parallel kernel setup. The node space is cut into
+  // `shards` contiguous ranges; results are identical for every shard
+  // count (including 1), so rounds below the work cutoff simply run the
+  // same kernel inline with a single all-covering shard. ---
+  const unsigned shards = std::max(
+      1u, std::min({config_.threads == 0 ? 1u : config_.threads, 64u,
+                    static_cast<unsigned>(un)}));
+  std::optional<ShardPool> pool;
+  if (shards > 1) pool.emplace(shards);
+  // Deposits + deliveries below this run inline: the fan-out/join of a
+  // pool dispatch (~ a few microseconds) must be amortized by real work.
+  constexpr std::size_t kParallelGrain = 2048;
+
+  struct alignas(64) ShardState {
+    std::vector<NodeId> touched;   // nodes with >= 1 arrival this round
+    std::vector<NodeId> collided;  // nodes with >= 2 arrivals this round
+    std::vector<NodeId> activated_noisy;  // woke up, not silence-transparent
+    std::vector<std::pair<NodeId, Round>> plans;  // deferred calendar.plan
+    std::size_t held_delta = 0;
+  };
+  std::vector<ShardState> shard(shards);
+  // shard_bounds(w, active): the node range of shard w when `active` shards
+  // participate this round.
+  const auto shard_lo = [un](unsigned w, unsigned active) {
+    return static_cast<NodeId>(static_cast<std::uint64_t>(un) * w / active);
+  };
 
   // Reusable per-round buffers.
   std::vector<NodeId> due;            // calendar pops, this round
   std::vector<NodeId> senders;        // ascending, as the reference produces
   std::vector<Message> sent_msg(un);
-  std::vector<bool> is_sender(un, false);
+  NodeFlags is_sender(un, 0);
   // Arrival slot per node: `mark` packs (round << 2) | count with count
   // saturating at 3 (the model only distinguishes 0 / 1 / >= 2), `from` is
   // the first arriving sender (its message is sent_msg[from], so the slot
@@ -236,15 +381,13 @@ SimResult Simulator::run() {
     NodeId from = kInvalidNode;
   };
   std::vector<ArrivalSlot> arrival(un);
-  std::vector<NodeId> touched;        // nodes with >= 1 arrival this round
-  std::vector<NodeId> collided;       // nodes with >= 2 arrivals this round
+  std::vector<NodeId> collided;       // merged from shards; CR4 sorts it
   // Full arrival lists, spilled only on collision and only consumed under
   // CR4 (adversary resolution picks among them).
   std::vector<std::vector<Message>> multi(un);
   std::vector<Reception> rec_of(un);  // CR4 collided non-senders only
   const Reception kSilence = Reception::silence();
   senders.reserve(64);
-  touched.reserve(64);
   collided.reserve(64);
 
   const std::size_t all_held = k * un;
@@ -257,6 +400,7 @@ SimResult Simulator::run() {
     due.clear();
     calendar.take_due(round, due);
     senders.clear();
+    std::size_t deposit_work = 0;  // upper bound on this round's deliveries
     for (const NodeId v : due) {
       const auto uv = static_cast<std::size_t>(v);
       const Action action = proc_at[uv]->next_action(round);
@@ -269,9 +413,10 @@ SimResult Simulator::run() {
       DUALRAD_CHECK(tok == kNoToken ||
                         holds[static_cast<std::size_t>(tok - 1) * un + uv],
                     "process sent a broadcast token without holding it");
-      is_sender[uv] = true;
+      is_sender[uv] = 1;
       sent_msg[uv] = action.message;
       senders.push_back(v);
+      deposit_work += 1 + csr_g.out_degree(v);
     }
     // Calendar pops arrive in bucket order; the adversary interface (and
     // stateful adversaries' RNG streams) see senders in ascending node
@@ -285,55 +430,89 @@ SimResult Simulator::run() {
         adversary_.choose_unreliable_reach(view, senders);
     DUALRAD_CHECK(reach.size() == senders.size(),
                   "adversary returned wrong number of reach choices");
+    for (const ReachChoice& choice : reach) deposit_work += choice.extra.size();
 
     RoundRecord record;
     if (full_trace) record.round = round;
 
-    // --- Propagation: sender itself + G out-neighbors + chosen extras. ---
-    touched.clear();
-    collided.clear();
+    const std::size_t noisy_before = noisy.size();
+    const unsigned active =
+        pool && deposit_work + noisy_before >= kParallelGrain ? shards : 1;
+    for (unsigned w = 0; w < active; ++w) {
+      shard[w].touched.clear();
+      shard[w].collided.clear();
+      shard[w].activated_noisy.clear();
+      shard[w].plans.clear();
+      shard[w].held_delta = 0;
+    }
+
+    // --- Propagation: sender itself + G out-neighbors + chosen extras.
+    // Each shard scans every sender but deposits only into its own node
+    // range; the scan order (ascending senders; self, then reliable row,
+    // then extras) matches the serial engine, so per-node arrival order —
+    // and with it `from`, the spilled CR4 lists, everything — is identical
+    // for any shard count. ---
     const auto live = static_cast<std::uint64_t>(round) << 2;
-    const auto deposit = [&](NodeId v, NodeId sender) {
-      const auto uv = static_cast<std::size_t>(v);
-      ArrivalSlot& slot = arrival[uv];
-      if ((slot.mark & ~std::uint64_t{3}) != live) {
-        slot.mark = live | 1;
-        slot.from = sender;
-        touched.push_back(v);
-        return;
-      }
-      if ((slot.mark & 3) == 1) {
-        collided.push_back(v);
+    const auto propagate_shard = [&](unsigned w) {
+      ShardState& s = shard[w];
+      const NodeId lo = shard_lo(w, active);
+      const NodeId hi = shard_lo(w + 1, active);
+      const auto deposit = [&](NodeId v, NodeId sender) {
+        const auto uv = static_cast<std::size_t>(v);
+        ArrivalSlot& slot = arrival[uv];
+        if ((slot.mark & ~std::uint64_t{3}) != live) {
+          slot.mark = live | 1;
+          slot.from = sender;
+          s.touched.push_back(v);
+          return;
+        }
+        if ((slot.mark & 3) == 1) {
+          s.collided.push_back(v);
+          if (spill_arrivals) {
+            multi[uv].clear();
+            multi[uv].push_back(sent_msg[static_cast<std::size_t>(slot.from)]);
+          }
+        }
+        if ((slot.mark & 3) < 3) ++slot.mark;
         if (spill_arrivals) {
-          multi[uv].clear();
-          multi[uv].push_back(sent_msg[static_cast<std::size_t>(slot.from)]);
+          multi[uv].push_back(sent_msg[static_cast<std::size_t>(sender)]);
+        }
+      };
+      for (std::size_t i = 0; i < senders.size(); ++i) {
+        const NodeId u = senders[i];
+        if (u >= lo && u < hi) deposit(u, u);
+        for (const NodeId v : csr_g.row(u)) {
+          if (v >= lo && v < hi) deposit(v, u);
+        }
+        for (const NodeId v : reach[i].extra) {
+          if (w == 0 && (v < 0 || v >= n)) {
+            DUALRAD_CHECK(false, "adversary chose a non-G'-only edge");
+          }
+          if (v < lo || v >= hi) continue;
+          DUALRAD_CHECK(csr_gp.contains(u, v) && !csr_g.contains(u, v),
+                        "adversary chose a non-G'-only edge");
+          deposit(v, u);
         }
       }
-      if ((slot.mark & 3) < 3) ++slot.mark;
-      if (spill_arrivals) {
-        multi[uv].push_back(sent_msg[static_cast<std::size_t>(sender)]);
-      }
     };
-    for (std::size_t i = 0; i < senders.size(); ++i) {
-      const NodeId u = senders[i];
-      const Message& m = sent_msg[static_cast<std::size_t>(u)];
-      deposit(u, u);
-      SenderRecord srec;
-      if (full_trace) {
+    if (active == 1) {
+      propagate_shard(0);
+    } else {
+      pool->run(propagate_shard);
+    }
+    if (full_trace) {
+      // Sender records replay the same scan serially (reads only).
+      for (std::size_t i = 0; i < senders.size(); ++i) {
+        const NodeId u = senders[i];
+        SenderRecord srec;
         srec.node = u;
-        srec.message = m;
+        srec.message = sent_msg[static_cast<std::size_t>(u)];
+        const auto row = csr_g.row(u);
+        srec.reached.assign(row.begin(), row.end());
+        srec.reached.insert(srec.reached.end(), reach[i].extra.begin(),
+                            reach[i].extra.end());
+        record.senders.push_back(std::move(srec));
       }
-      for (const NodeId v : csr_g.row(u)) {
-        deposit(v, u);
-        if (full_trace) srec.reached.push_back(v);
-      }
-      for (const NodeId v : reach[i].extra) {
-        DUALRAD_CHECK(csr_gp.contains(u, v) && !csr_g.contains(u, v),
-                      "adversary chose a non-G'-only edge");
-        deposit(v, u);
-        if (full_trace) srec.reached.push_back(v);
-      }
-      if (full_trace) record.senders.push_back(std::move(srec));
     }
 
     // --- Receptions under the configured collision rule (touched only:
@@ -341,109 +520,149 @@ SimResult Simulator::run() {
     // pass, in ascending node order — the order the reference engine's node
     // scan consults the adversary in. ---
     std::uint32_t collision_events = 0;
-    for (const NodeId v : collided) {
-      // Collision events are what processes observe: under CR2-CR4 a
-      // sender deterministically hears its own message, so no collision
-      // occurs at sender nodes there (CR1 counts senders too).
-      if (config_.rule == CollisionRule::CR1 ||
-          !is_sender[static_cast<std::size_t>(v)]) {
-        ++collision_events;
+    for (unsigned w = 0; w < active; ++w) {
+      for (const NodeId v : shard[w].collided) {
+        // Collision events are what processes observe: under CR2-CR4 a
+        // sender deterministically hears its own message, so no collision
+        // occurs at sender nodes there (CR1 counts senders too).
+        if (config_.rule == CollisionRule::CR1 ||
+            !is_sender[static_cast<std::size_t>(v)]) {
+          ++collision_events;
+        }
       }
     }
     result.total_collision_events += collision_events;
-    if (config_.rule == CollisionRule::CR4 && !collided.empty()) {
-      std::sort(collided.begin(), collided.end());
-      for (const NodeId v : collided) {
-        const auto uv = static_cast<std::size_t>(v);
-        if (is_sender[uv]) continue;
-        Reception rec = adversary_.resolve_cr4(view, v, multi[uv]);
-        DUALRAD_CHECK(!rec.is_collision(),
-                      "CR4 resolution cannot be collision notification");
-        DUALRAD_CHECK(!rec.is_message() ||
-                          std::find(multi[uv].begin(), multi[uv].end(),
-                                    *rec.message) != multi[uv].end(),
-                      "CR4 resolution must pick an arriving message");
-        rec_of[uv] = rec;
+    if (config_.rule == CollisionRule::CR4) {
+      collided.clear();
+      for (unsigned w = 0; w < active; ++w) {
+        collided.insert(collided.end(), shard[w].collided.begin(),
+                        shard[w].collided.end());
+      }
+      if (!collided.empty()) {
+        std::sort(collided.begin(), collided.end());
+        for (const NodeId v : collided) {
+          const auto uv = static_cast<std::size_t>(v);
+          if (is_sender[uv]) continue;
+          Reception rec = adversary_.resolve_cr4(view, v, multi[uv]);
+          DUALRAD_CHECK(!rec.is_collision(),
+                        "CR4 resolution cannot be collision notification");
+          DUALRAD_CHECK(!rec.is_message() ||
+                            std::find(multi[uv].begin(), multi[uv].end(),
+                                      *rec.message) != multi[uv].end(),
+                        "CR4 resolution must pick an arriving message");
+          rec_of[uv] = rec;
+        }
       }
     }
 
-    // --- Fused reception + delivery over the touched set. Receptions are
-    // pure functions of this round's (fixed) arrivals and sender flags —
-    // CR4 resolutions were fixed above, before any state change, exactly
-    // like the reference engine's two-pass order — so computing and
-    // delivering per node in one pass is equivalent. Touched nodes get
-    // activations, non-silent deliveries (plus silent ones for
-    // non-transparent processes), and all token bookkeeping; pass B then
-    // delivers the round's silence to the remaining noisy awake nodes.
-    // Processes activated this round consume their reception through
-    // on_activate, so only nodes noisy *before* this round's activations
-    // get the pass-B delivery. ---
+    // --- Fused reception + delivery over each shard's touched set, plus
+    // the round's silence for this shard's slice of the noisy prefix.
+    // Receptions are pure functions of this round's (fixed) arrivals and
+    // sender flags — CR4 resolutions were fixed above, before any state
+    // change, exactly like the reference engine's two-pass order — so
+    // computing and delivering per node in one pass is equivalent, and
+    // every write (process state, per-node flags, token bookkeeping,
+    // trace receptions) lands on nodes this shard owns. Deferred effects
+    // (calendar replans, noisy additions, held_count) are collected per
+    // shard and merged below in shard order. Processes activated this
+    // round consume their reception through on_activate, so only nodes
+    // noisy *before* this round's activations get the silence delivery
+    // (they are partitioned by index, disjoint from every touched set). ---
     if (full_trace) record.receptions.assign(un, kSilence);
-    const std::size_t noisy_before = noisy.size();
-    for (const NodeId v : touched) {
-      const auto uv = static_cast<std::size_t>(v);
-      const ArrivalSlot& slot = arrival[uv];
-      const std::uint32_t count = slot.mark & 3;
-      const auto first_msg = [&]() -> const Message& {
-        return sent_msg[static_cast<std::size_t>(slot.from)];
-      };
-      Reception rec;
-      switch (config_.rule) {
-        case CollisionRule::CR1:
-          rec = count == 1 ? Reception::of(first_msg())
-                           : Reception::collision();
-          break;
-        case CollisionRule::CR2:
-        case CollisionRule::CR3:
-        case CollisionRule::CR4:
-          if (is_sender[uv]) {
-            rec = Reception::of(sent_msg[uv]);
-          } else if (count == 1) {
-            rec = Reception::of(first_msg());
-          } else if (config_.rule == CollisionRule::CR2) {
-            rec = Reception::collision();
-          } else if (config_.rule == CollisionRule::CR3) {
-            rec = Reception::silence();
-          } else {
-            rec = rec_of[uv];  // CR4: the adversary's resolution
+    const auto deliver_shard = [&](unsigned w) {
+      ShardState& s = shard[w];
+      for (const NodeId v : s.touched) {
+        const auto uv = static_cast<std::size_t>(v);
+        const ArrivalSlot& slot = arrival[uv];
+        const std::uint32_t count = slot.mark & 3;
+        const auto first_msg = [&]() -> const Message& {
+          return sent_msg[static_cast<std::size_t>(slot.from)];
+        };
+        Reception rec;
+        switch (config_.rule) {
+          case CollisionRule::CR1:
+            rec = count == 1 ? Reception::of(first_msg())
+                             : Reception::collision();
+            break;
+          case CollisionRule::CR2:
+          case CollisionRule::CR3:
+          case CollisionRule::CR4:
+            if (is_sender[uv]) {
+              rec = Reception::of(sent_msg[uv]);
+            } else if (count == 1) {
+              rec = Reception::of(first_msg());
+            } else if (config_.rule == CollisionRule::CR2) {
+              rec = Reception::collision();
+            } else if (config_.rule == CollisionRule::CR3) {
+              rec = Reception::silence();
+            } else {
+              rec = rec_of[uv];  // CR4: the adversary's resolution
+            }
+            break;
+        }
+        if (awake[uv]) {
+          if (!transparent[uv] || !rec.is_silence()) {
+            proc_at[uv]->on_receive(round, rec);
+            s.plans.emplace_back(v, proc_at[uv]->next_send_round(round + 1));
           }
-          break;
-      }
-      if (awake[uv]) {
-        if (!transparent[uv] || !rec.is_silence()) {
-          proc_at[uv]->on_receive(round, rec);
-          calendar.plan(v, proc_at[uv]->next_send_round(round + 1), round);
+        } else if (rec.is_message()) {
+          proc_at[uv]->on_activate(round, rec.message);
+          awake[uv] = 1;
+          transparent[uv] = proc_at[uv]->silence_transparent() ? 1 : 0;
+          if (!transparent[uv]) s.activated_noisy.push_back(v);
+          s.plans.emplace_back(v, proc_at[uv]->next_send_round(round + 1));
         }
-      } else if (rec.is_message()) {
-        proc_at[uv]->on_activate(round, rec.message);
-        activate_bookkeeping(v, round);
-      }
-      if (rec.has_token()) {
-        const auto t = static_cast<std::size_t>(rec.message->token - 1);
-        covered[uv] = true;
-        if (!holds[t * un + uv]) {
-          holds[t * un + uv] = true;
-          result.token_first[t][uv] = round;
-          ++held_count;
+        if (rec.has_token()) {
+          const auto t = static_cast<std::size_t>(rec.message->token - 1);
+          covered[uv] = 1;
+          if (!holds[t * un + uv]) {
+            holds[t * un + uv] = 1;
+            result.token_first[t][uv] = round;
+            ++s.held_delta;
+          }
         }
+        if (full_trace) record.receptions[uv] = std::move(rec);
       }
-      if (full_trace) record.receptions[uv] = std::move(rec);
-    }
-    for (std::size_t i = 0; i < noisy_before; ++i) {
-      const auto uv = static_cast<std::size_t>(noisy[i]);
-      if ((arrival[uv].mark & ~std::uint64_t{3}) == live) continue;  // delivered above
-      proc_at[uv]->on_receive(round, kSilence);
-      calendar.plan(noisy[i], proc_at[uv]->next_send_round(round + 1), round);
+      // Silence to this shard's slice of the pre-round noisy prefix.
+      const std::size_t blo = noisy_before * w / active;
+      const std::size_t bhi = noisy_before * (w + 1) / active;
+      for (std::size_t i = blo; i < bhi; ++i) {
+        const auto uv = static_cast<std::size_t>(noisy[i]);
+        if ((arrival[uv].mark & ~std::uint64_t{3}) == live) continue;  // touched
+        proc_at[uv]->on_receive(round, kSilence);
+        s.plans.emplace_back(noisy[i],
+                             proc_at[uv]->next_send_round(round + 1));
+      }
+    };
+    if (active == 1) {
+      deliver_shard(0);
+    } else {
+      pool->run(deliver_shard);
     }
 
-    if (config_.trace != TraceLevel::None) {
+    // --- Deterministic shard merge: calendar replans, newly-noisy nodes,
+    // token counts — all applied in shard order. (Plan application order is
+    // unobservable anyway: the calendar dedups by node, and polled actions
+    // are sorted before the adversary sees them.) ---
+    for (unsigned w = 0; w < active; ++w) {
+      const ShardState& s = shard[w];
+      noisy.insert(noisy.end(), s.activated_noisy.begin(),
+                   s.activated_noisy.end());
+      for (const auto& [v, r] : s.plans) calendar.plan(v, r, round);
+      held_count += s.held_delta;
+    }
+
+    if (counted_trace) {
       result.trace.senders_per_round.push_back(
           static_cast<std::uint32_t>(senders.size()));
       result.trace.collisions_per_round.push_back(collision_events);
+    } else if (config_.trace == TraceLevel::Bounded) {
+      result.trace.record_bounded_round(
+          round, static_cast<std::uint32_t>(senders.size()), collision_events);
     }
     if (full_trace) result.trace.rounds.push_back(std::move(record));
 
-    for (const NodeId v : senders) is_sender[static_cast<std::size_t>(v)] = false;
+    for (const NodeId v : senders) is_sender[static_cast<std::size_t>(v)] = 0;
 
     if (held_count == all_held && !result.completed) {
       result.completed = true;

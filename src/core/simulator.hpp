@@ -42,6 +42,14 @@ struct SimConfig {
   /// Master seed; process i receives mix_seed(seed, i).
   std::uint64_t seed = 1;
   TraceLevel trace = TraceLevel::None;
+  /// Ring capacity (rounds) of the TraceLevel::Bounded trace.
+  std::size_t trace_window = 1024;
+  /// Worker threads of the sharded parallel round kernel; 0 or 1 runs the
+  /// round loop inline. The SimResult is bit-identical for every value: the
+  /// kernel partitions nodes into contiguous shards, all cross-shard state
+  /// is merged in deterministic shard order, and every observable (process
+  /// call sets, adversary call order, RNG streams) is per-node independent.
+  unsigned threads = 1;
   /// Stop as soon as every process holds every token. When false the
   /// execution runs to max_rounds (useful for termination experiments).
   bool stop_on_completion = true;

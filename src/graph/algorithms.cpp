@@ -26,7 +26,39 @@ std::vector<Round> bfs_distances(const Graph& g, NodeId source) {
   return dist;
 }
 
+std::vector<Round> bfs_distances(const CsrGraph& g, NodeId source) {
+  DUALRAD_REQUIRE(source >= 0 && source < g.node_count(),
+                  "BFS source out of range");
+  std::vector<Round> dist(static_cast<std::size_t>(g.node_count()), kNever);
+  // A vector frontier (swap per level) instead of std::queue: BFS over a
+  // 10^6-node CSR graph is on the construction path of the scale families.
+  std::vector<NodeId> frontier{source}, next;
+  dist[static_cast<std::size_t>(source)] = 0;
+  Round level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId v : g.row(u)) {
+        auto& dv = dist[static_cast<std::size_t>(v)];
+        if (dv == kNever) {
+          dv = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
 bool all_reachable(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](Round d) { return d == kNever; });
+}
+
+bool all_reachable(const CsrGraph& g, NodeId source) {
   const auto dist = bfs_distances(g, source);
   return std::none_of(dist.begin(), dist.end(),
                       [](Round d) { return d == kNever; });

@@ -13,9 +13,12 @@ namespace dualrad::graphalg {
 /// BFS distances from `source` along directed edges. Unreachable nodes get
 /// dualrad::kNever (-1).
 [[nodiscard]] std::vector<Round> bfs_distances(const Graph& g, NodeId source);
+[[nodiscard]] std::vector<Round> bfs_distances(const CsrGraph& g,
+                                               NodeId source);
 
 /// True iff every node is reachable from `source`.
 [[nodiscard]] bool all_reachable(const Graph& g, NodeId source);
+[[nodiscard]] bool all_reachable(const CsrGraph& g, NodeId source);
 
 /// Nodes reachable from `source` (including `source`).
 [[nodiscard]] std::vector<NodeId> reachable_set(const Graph& g, NodeId source);

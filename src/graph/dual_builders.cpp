@@ -159,7 +159,19 @@ DualGraph layered_sparse(const LayeredSparseParams& params) {
                   "layered_sparse needs unreliable_degree >= 0");
   const NodeId n = 1 + params.layers * params.width;
   StreamRng rng(mix_seed(params.seed, 0x6C737270));
-  Graph g(n);
+  // Edges stream straight into CSR builders — no Graph, no hash set — so a
+  // 10^6-node instance peaks at ~8 bytes per emitted edge. Repeated draws
+  // of the same parent (and skip links duplicating either direction)
+  // collapse in the builders' sort-dedup freeze, exactly as the historical
+  // Graph::add_undirected_edge dedup collapsed them.
+  CsrGraphBuilder g(n);
+  CsrGraphBuilder gp(n);
+  const std::size_t reliable_emitted =
+      2 * static_cast<std::size_t>(params.layers) * params.width *
+      params.fwd_degree;
+  g.reserve(reliable_emitted);
+  gp.reserve(reliable_emitted + 2 * static_cast<std::size_t>(params.layers) *
+                                    params.width * params.unreliable_degree);
   // layer_begin(i): first node id of layer i; layer 0 is the source alone.
   const auto layer_begin = [&](NodeId i) {
     return i == 0 ? NodeId{0} : 1 + (i - 1) * params.width;
@@ -175,12 +187,11 @@ DualGraph layered_sparse(const LayeredSparseParams& params) {
       for (NodeId d = 0; d < params.fwd_degree; ++d) {
         const NodeId u = prev_begin + static_cast<NodeId>(rng.below(
                              static_cast<std::uint64_t>(prev_size)));
-        // Repeated draws of the same parent just lower the degree a bit.
         g.add_undirected_edge(u, v);
+        gp.add_undirected_edge(u, v);
       }
     }
   }
-  Graph gp = g;
   for (NodeId layer = 2; layer <= params.layers; ++layer) {
     const NodeId skip_begin = layer_begin(layer - 2);
     const NodeId skip_size = layer_size(layer - 2);
@@ -193,7 +204,7 @@ DualGraph layered_sparse(const LayeredSparseParams& params) {
       }
     }
   }
-  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+  return DualGraph(g.freeze(), gp.freeze(), /*source=*/0);
 }
 
 DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
@@ -232,8 +243,25 @@ DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
         static_cast<NodeId>(i));
   }
 
-  Graph g(params.n);
-  Graph gp(params.n);
+  // Edges stream into CSR builders (no Graph, no hash set); reliable
+  // connectivity for the stranded-node wiring is tracked in a union-find
+  // instead of flooding adjacency lists, since the builders expose none
+  // until freeze.
+  CsrGraphBuilder g(params.n);
+  CsrGraphBuilder gp(params.n);
+  std::vector<NodeId> dsu_parent(n);
+  for (std::size_t i = 0; i < n; ++i) dsu_parent[i] = static_cast<NodeId>(i);
+  const auto find = [&](NodeId v) {
+    while (dsu_parent[static_cast<std::size_t>(v)] != v) {
+      auto& p = dsu_parent[static_cast<std::size_t>(v)];
+      p = dsu_parent[static_cast<std::size_t>(p)];  // path halving
+      v = p;
+    }
+    return v;
+  };
+  const auto unite = [&](NodeId a, NodeId b) {
+    dsu_parent[static_cast<std::size_t>(find(a))] = find(b);
+  };
   const double rr2 = r_rel * r_rel;
   const double rg2 = r_gray * r_gray;
   for (std::size_t a = 0; a < n; ++a) {
@@ -249,6 +277,7 @@ DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
           if (d2 <= rr2) {
             g.add_undirected_edge(static_cast<NodeId>(a), bv);
             gp.add_undirected_edge(static_cast<NodeId>(a), bv);
+            unite(static_cast<NodeId>(a), bv);
           } else if (d2 <= rg2) {
             gp.add_undirected_edge(static_cast<NodeId>(a), bv);
           }
@@ -259,27 +288,12 @@ DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
 
   // Wire stranded nodes into the source component along nearest-neighbor
   // links (expanding ring search over the grid), modeling the link-quality
-  // floor like gray_zone. After wiring a node, its whole reliable component
-  // joins the covered set, so each component costs one extra edge.
-  std::vector<bool> covered(n, false);
-  std::vector<NodeId> stack;
-  const auto flood = [&](NodeId start) {
-    stack.push_back(start);
-    covered[static_cast<std::size_t>(start)] = true;
-    while (!stack.empty()) {
-      const NodeId u = stack.back();
-      stack.pop_back();
-      for (const NodeId w : g.out_neighbors(u)) {
-        if (!covered[static_cast<std::size_t>(w)]) {
-          covered[static_cast<std::size_t>(w)] = true;
-          stack.push_back(w);
-        }
-      }
-    }
-  };
-  flood(0);
+  // floor like gray_zone. "Covered" = reliably connected to node 0, which
+  // the union-find answers directly; wiring a node unions its whole
+  // component in, so each component costs one extra edge.
+  const auto covered = [&](NodeId w) { return find(w) == find(0); };
   for (std::size_t v = 0; v < n; ++v) {
-    if (covered[v]) continue;
+    if (covered(static_cast<NodeId>(v))) continue;
     // Nearest covered node: scan grid rings outward until the closest
     // possible cell of the next ring — (ring - 1) cells away — is already
     // farther than the best hit, which guarantees the true nearest was
@@ -294,9 +308,8 @@ DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
       }
       const auto visit = [&](std::size_t gx, std::size_t gy) {
         for (const NodeId wv : grid[gy * cells + gx]) {
-          const auto w = static_cast<std::size_t>(wv);
-          if (!covered[w]) continue;
-          const double d2 = dist2(v, w);
+          if (!covered(wv)) continue;
+          const double d2 = dist2(v, static_cast<std::size_t>(wv));
           if (d2 < best_d2 || (d2 == best_d2 && wv < best)) {
             best_d2 = d2;
             best = wv;
@@ -320,12 +333,11 @@ DualGraph gray_zone_grid(const GrayZoneGridParams& params) {
     }
     DUALRAD_CHECK(best != kInvalidNode, "no covered node found for wiring");
     g.add_undirected_edge(static_cast<NodeId>(v), best);
-    if (!gp.has_edge(static_cast<NodeId>(v), best)) {
-      gp.add_undirected_edge(static_cast<NodeId>(v), best);
-    }
-    flood(static_cast<NodeId>(v));
+    // The wire may duplicate an existing gray edge; the freeze dedups.
+    gp.add_undirected_edge(static_cast<NodeId>(v), best);
+    unite(static_cast<NodeId>(v), best);
   }
-  return DualGraph(std::move(g), std::move(gp), /*source=*/0);
+  return DualGraph(g.freeze(), gp.freeze(), /*source=*/0);
 }
 
 }  // namespace dualrad::duals

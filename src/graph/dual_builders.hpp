@@ -76,8 +76,10 @@ struct BackboneParams {
 /// (reliable, undirected); each node of layer i >= 2 additionally draws
 /// `unreliable_degree` random contacts in layer i-2 (G'-only, undirected) —
 /// long "skip" links that exist but cannot be relied upon. Degrees stay
-/// O(fwd_degree + unreliable_degree) regardless of n, so 10^5-node networks
-/// fit comfortably in memory, unlike the complete-G' layered family.
+/// O(fwd_degree + unreliable_degree) regardless of n, and edges stream
+/// straight into CsrGraphBuilder (no Graph intermediate, no hash set), so
+/// 10^6-node networks fit comfortably in memory, unlike the complete-G'
+/// layered family. Adjacency rows are sorted (builder order).
 struct LayeredSparseParams {
   NodeId layers = 100;
   NodeId width = 32;
@@ -91,8 +93,9 @@ struct LayeredSparseParams {
 /// (uniform points; reliable edges below r_reliable, unreliable in the
 /// (r_reliable, r_gray] ring; stranded nodes wired to their nearest covered
 /// node) but with radii scaled so the expected reliable degree is
-/// `mean_degree` and with O(n)-expected construction via spatial hashing —
-/// usable at n = 10^5 where the all-pairs gray_zone builder is not.
+/// `mean_degree`, O(n)-expected construction via spatial hashing, and edges
+/// streamed into CsrGraphBuilder with union-find connectivity tracking —
+/// usable at n = 10^6 where the all-pairs gray_zone builder is not.
 struct GrayZoneGridParams {
   NodeId n = 1000;
   /// Expected reliable degree; r_reliable = sqrt(mean_degree / (pi n)).

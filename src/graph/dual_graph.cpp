@@ -1,41 +1,85 @@
 #include "graph/dual_graph.hpp"
 
-#include <numeric>
-
 #include "graph/algorithms.hpp"
 
 namespace dualrad {
 
-DualGraph::DualGraph(Graph reliable, Graph full, NodeId source)
-    : reliable_(std::move(reliable)), full_(std::move(full)), source_(source) {
-  DUALRAD_REQUIRE(reliable_.node_count() == full_.node_count(),
-                  "G and G' must share a vertex set");
-  DUALRAD_REQUIRE(reliable_.node_count() >= 2, "the model fixes n >= 2");
-  DUALRAD_REQUIRE(source_ >= 0 && source_ < reliable_.node_count(),
-                  "source out of range");
-  DUALRAD_REQUIRE(reliable_.is_subgraph_of(full_),
-                  "E must be a subset of E'");
-  DUALRAD_REQUIRE(graphalg::all_reachable(reliable_, source_),
-                  "every node must be reachable from the source in G");
-  unreliable_out_.resize(static_cast<std::size_t>(node_count()));
-  for (NodeId u = 0; u < node_count(); ++u) {
-    for (NodeId v : full_.out_neighbors(u)) {
-      if (!reliable_.has_edge(u, v)) {
-        unreliable_out_[static_cast<std::size_t>(u)].push_back(v);
-      }
-    }
+namespace {
+
+/// Rebuild a mutable Graph view from a CSR snapshot (row order preserved,
+/// so out_neighbors matches the CSR delivery order exactly).
+[[nodiscard]] Graph to_graph(const CsrGraph& csr) {
+  Graph g(csr.node_count());
+  g.reserve_edges(csr.edge_count());
+  for (NodeId u = 0; u < csr.node_count(); ++u) {
+    for (const NodeId v : csr.row(u)) g.add_edge(u, v);
   }
+  return g;
 }
 
-const std::vector<NodeId>& DualGraph::unreliable_out(NodeId u) const {
-  DUALRAD_REQUIRE(u >= 0 && u < node_count(), "node out of range");
-  return unreliable_out_[static_cast<std::size_t>(u)];
+/// The G'-only adjacency: each G' row minus the G edges, *in G' row order*
+/// — stateful adversaries consume their RNG streams in this order, so it
+/// must match what iterating g_prime().out_neighbors minus G produced.
+[[nodiscard]] CsrGraph unreliable_of(const CsrGraph& g, const CsrGraph& gp) {
+  std::vector<std::uint32_t> offsets(
+      static_cast<std::size_t>(gp.node_count()) + 1, 0);
+  std::vector<NodeId> targets;
+  targets.reserve(gp.edge_count() - g.edge_count());
+  for (NodeId u = 0; u < gp.node_count(); ++u) {
+    for (const NodeId v : gp.row(u)) {
+      if (!g.contains(u, v)) targets.push_back(v);
+    }
+    offsets[static_cast<std::size_t>(u) + 1] =
+        static_cast<std::uint32_t>(targets.size());
+  }
+  return CsrGraph::from_rows(std::move(offsets), std::move(targets));
 }
 
-std::size_t DualGraph::unreliable_edge_count() const {
-  return std::accumulate(
-      unreliable_out_.begin(), unreliable_out_.end(), std::size_t{0},
-      [](std::size_t acc, const auto& v) { return acc + v.size(); });
+}  // namespace
+
+void DualGraph::validate_and_index() {
+  DUALRAD_REQUIRE(g_csr_.node_count() == gp_csr_.node_count(),
+                  "G and G' must share a vertex set");
+  DUALRAD_REQUIRE(g_csr_.node_count() >= 2, "the model fixes n >= 2");
+  DUALRAD_REQUIRE(source_ >= 0 && source_ < g_csr_.node_count(),
+                  "source out of range");
+  DUALRAD_REQUIRE(g_csr_.is_subgraph_of(gp_csr_), "E must be a subset of E'");
+  DUALRAD_REQUIRE(graphalg::all_reachable(g_csr_, source_),
+                  "every node must be reachable from the source in G");
+  unreliable_csr_ = unreliable_of(g_csr_, gp_csr_);
+}
+
+DualGraph::DualGraph(Graph reliable, Graph full, NodeId source)
+    : g_csr_(reliable), gp_csr_(full), source_(source) {
+  validate_and_index();
+  reliable_view_ = std::make_shared<const Graph>(std::move(reliable));
+  full_view_ = std::make_shared<const Graph>(std::move(full));
+}
+
+DualGraph::DualGraph(CsrGraph reliable, CsrGraph full, NodeId source)
+    : g_csr_(std::move(reliable)),
+      gp_csr_(std::move(full)),
+      source_(source),
+      lazy_(std::make_shared<std::mutex>()) {
+  validate_and_index();
+}
+
+const Graph& DualGraph::g() const {
+  if (!lazy_) return *reliable_view_;
+  const std::lock_guard<std::mutex> lock(*lazy_);
+  if (!reliable_view_) {
+    reliable_view_ = std::make_shared<const Graph>(to_graph(g_csr_));
+  }
+  return *reliable_view_;
+}
+
+const Graph& DualGraph::g_prime() const {
+  if (!lazy_) return *full_view_;
+  const std::lock_guard<std::mutex> lock(*lazy_);
+  if (!full_view_) {
+    full_view_ = std::make_shared<const Graph>(to_graph(gp_csr_));
+  }
+  return *full_view_;
 }
 
 DualGraph make_classical(Graph g, NodeId source) {

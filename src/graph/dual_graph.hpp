@@ -1,5 +1,8 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <span>
 #include <utility>
 
 #include "graph/graph.hpp"
@@ -15,6 +18,15 @@
 /// The model assumes a distinguished source node from which every node is
 /// reachable in G. The classical (reliable) radio-network model is the
 /// special case G == G'.
+///
+/// Representation: a DualGraph always carries frozen `CsrGraph` snapshots of
+/// G, G', and the G'-only ("unreliable") adjacency — these back every hot
+/// path (the round engine, adversaries, the trace auditor). Networks built
+/// from `Graph` objects additionally keep those builders for the mutable
+/// Graph API (`g()` / `g_prime()`); networks streamed straight from a
+/// `CsrGraphBuilder` (the 10^5+-node scale families) materialize a `Graph`
+/// view lazily — and pay its hash-set RSS — only if some cold path actually
+/// asks for one.
 
 namespace dualrad {
 
@@ -25,36 +37,64 @@ class DualGraph {
   /// node reachable from the source in G.
   DualGraph(Graph reliable, Graph full, NodeId source);
 
-  [[nodiscard]] NodeId node_count() const { return reliable_.node_count(); }
+  /// Build a network from frozen CSR snapshots (typically streamed from
+  /// CsrGraphBuilder — no Graph, no hash set). Same validation as above.
+  DualGraph(CsrGraph reliable, CsrGraph full, NodeId source);
+
+  [[nodiscard]] NodeId node_count() const { return g_csr_.node_count(); }
   [[nodiscard]] NodeId source() const { return source_; }
 
-  /// The reliable graph G.
-  [[nodiscard]] const Graph& g() const { return reliable_; }
-  /// The full graph G' (reliable plus unreliable links).
-  [[nodiscard]] const Graph& g_prime() const { return full_; }
+  /// The reliable graph G as a mutable-API Graph view. CSR-built networks
+  /// materialize it (with its hash index) on first use — avoid on 10^5+-node
+  /// networks; hot paths should use g_csr().
+  [[nodiscard]] const Graph& g() const;
+  /// The full graph G' (reliable plus unreliable links); see g().
+  [[nodiscard]] const Graph& g_prime() const;
+
+  /// Frozen CSR snapshot of G. Row order is the authoritative delivery
+  /// order of the engines.
+  [[nodiscard]] const CsrGraph& g_csr() const { return g_csr_; }
+  /// Frozen CSR snapshot of G'.
+  [[nodiscard]] const CsrGraph& g_prime_csr() const { return gp_csr_; }
+  /// Frozen CSR of the G'-only adjacency (row order matches g_prime_csr).
+  [[nodiscard]] const CsrGraph& unreliable_csr() const {
+    return unreliable_csr_;
+  }
 
   /// True iff both G and G' are symmetric (the paper's "undirected network").
   [[nodiscard]] bool is_undirected() const {
-    return reliable_.is_undirected() && full_.is_undirected();
+    return g_csr_.is_symmetric() && gp_csr_.is_symmetric();
   }
 
   /// True iff the network has no unreliable links (classical model).
   [[nodiscard]] bool is_classical() const {
-    return reliable_.edge_count() == full_.edge_count();
+    return g_csr_.edge_count() == gp_csr_.edge_count();
   }
 
   /// G'-only out-neighbors of u: nodes reachable from u only unreliably.
   /// Precomputed; cheap to call per round.
-  [[nodiscard]] const std::vector<NodeId>& unreliable_out(NodeId u) const;
+  [[nodiscard]] std::span<const NodeId> unreliable_out(NodeId u) const {
+    return unreliable_csr_.row(u);
+  }
 
   /// Number of unreliable (G'-only) directed edges.
-  [[nodiscard]] std::size_t unreliable_edge_count() const;
+  [[nodiscard]] std::size_t unreliable_edge_count() const {
+    return unreliable_csr_.edge_count();
+  }
 
  private:
-  Graph reliable_;
-  Graph full_;
-  NodeId source_;
-  std::vector<std::vector<NodeId>> unreliable_out_{};
+  void validate_and_index();
+
+  CsrGraph g_csr_;
+  CsrGraph gp_csr_;
+  CsrGraph unreliable_csr_;
+  NodeId source_ = 0;
+  /// Guards lazy Graph materialization; non-null iff CSR-built. Copies of a
+  /// DualGraph share the mutex and any already-materialized views (both are
+  /// immutable once set).
+  std::shared_ptr<std::mutex> lazy_;
+  mutable std::shared_ptr<const Graph> reliable_view_;
+  mutable std::shared_ptr<const Graph> full_view_;
 };
 
 /// Convenience: a classical network (G == G').

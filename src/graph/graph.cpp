@@ -19,7 +19,7 @@ void Graph::add_edge(NodeId u, NodeId v) {
   check_node(v, "edge endpoint out of range");
   DUALRAD_REQUIRE(u != v, "self-loops are not allowed");
   DUALRAD_REQUIRE(!has_edge(u, v), "duplicate edge");
-  edge_set_.insert(key(u, v));
+  if (indexed_) edge_set_.insert(key(u, v));
   edge_list_.emplace_back(u, v);
   out_[static_cast<std::size_t>(u)].push_back(v);
   in_[static_cast<std::size_t>(v)].push_back(u);
@@ -32,7 +32,19 @@ void Graph::add_undirected_edge(NodeId u, NodeId v) {
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
   if (u < 0 || v < 0 || u >= node_count() || v >= node_count()) return false;
-  return edge_set_.contains(key(u, v));
+  if (indexed_) return edge_set_.contains(key(u, v));
+  const auto& nbrs = out_[static_cast<std::size_t>(u)];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+void Graph::reserve_edges(std::size_t edges) {
+  if (indexed_) edge_set_.reserve(edges);
+  edge_list_.reserve(edges);
+}
+
+void Graph::release_edge_index() {
+  indexed_ = false;
+  edge_set_ = {};  // actually free the buckets (clear() keeps them)
 }
 
 const std::vector<NodeId>& Graph::out_neighbors(NodeId u) const {
@@ -69,6 +81,22 @@ bool Graph::is_subgraph_of(const Graph& other) const {
       [&](const auto& e) { return other.has_edge(e.first, e.second); });
 }
 
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.out_.size() != b.out_.size() ||
+      a.edge_list_.size() != b.edge_list_.size()) {
+    return false;
+  }
+  if (a.indexed_ && b.indexed_) return a.edge_set_ == b.edge_set_;
+  const auto sorted_keys = [](const Graph& g) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(g.edge_list_.size());
+    for (const auto& [u, v] : g.edge_list_) keys.push_back(Graph::key(u, v));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  return sorted_keys(a) == sorted_keys(b);
+}
+
 CsrGraph::CsrGraph(const Graph& g) {
   const auto n = static_cast<std::size_t>(g.node_count());
   DUALRAD_REQUIRE(g.edge_count() < (std::uint64_t{1} << 32),
@@ -87,14 +115,110 @@ CsrGraph::CsrGraph(const Graph& g) {
     const auto uu = static_cast<std::size_t>(u);
     std::sort(sorted_.begin() + offsets_[uu], sorted_.begin() + offsets_[uu + 1]);
   }
+  // An edge-free Graph-frozen snapshot is indistinguishable from a sorted
+  // one — rows_sorted() is vacuously true and contains() has nothing to
+  // find, so the sorted_/targets_ distinction does not matter there.
+}
+
+CsrGraph CsrGraph::from_rows(std::vector<std::uint32_t> offsets,
+                             std::vector<NodeId> targets) {
+  DUALRAD_REQUIRE(!offsets.empty() && offsets.front() == 0 &&
+                      offsets.back() == targets.size(),
+                  "malformed CSR offsets");
+  CsrGraph csr(std::move(offsets), std::move(targets));
+  bool sorted = true;
+  for (NodeId u = 0; sorted && u < csr.node_count(); ++u) {
+    const auto row = csr.row(u);
+    sorted = std::is_sorted(row.begin(), row.end());
+  }
+  if (!sorted) {
+    csr.sorted_ = csr.targets_;
+    for (NodeId u = 0; u < csr.node_count(); ++u) {
+      const auto uu = static_cast<std::size_t>(u);
+      std::sort(csr.sorted_.begin() + csr.offsets_[uu],
+                csr.sorted_.begin() + csr.offsets_[uu + 1]);
+    }
+  }
+  return csr;
 }
 
 bool CsrGraph::contains(NodeId u, NodeId v) const {
   if (u < 0 || v < 0 || u >= node_count() || v >= node_count()) return false;
   const auto uu = static_cast<std::size_t>(u);
-  const auto begin = sorted_.begin() + offsets_[uu];
-  const auto end = sorted_.begin() + offsets_[uu + 1];
+  const std::vector<NodeId>& keys = sorted_.empty() ? targets_ : sorted_;
+  const auto begin = keys.begin() + offsets_[uu];
+  const auto end = keys.begin() + offsets_[uu + 1];
   return std::binary_search(begin, end, v);
+}
+
+bool CsrGraph::is_symmetric() const {
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : row(u)) {
+      if (!contains(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+bool CsrGraph::is_subgraph_of(const CsrGraph& other) const {
+  if (node_count() != other.node_count()) return false;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : row(u)) {
+      if (!other.contains(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t CsrGraph::max_out_degree() const {
+  std::size_t best = 0;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    best = std::max(best, out_degree(u));
+  }
+  return best;
+}
+
+std::size_t CsrGraph::max_in_degree() const {
+  std::vector<std::uint32_t> in_deg(static_cast<std::size_t>(node_count()), 0);
+  for (const NodeId v : targets_) ++in_deg[static_cast<std::size_t>(v)];
+  std::uint32_t best = 0;
+  for (const std::uint32_t d : in_deg) best = std::max(best, d);
+  return best;
+}
+
+CsrGraphBuilder::CsrGraphBuilder(NodeId n) : n_(n) {
+  DUALRAD_REQUIRE(n >= 0, "node count must be non-negative");
+}
+
+void CsrGraphBuilder::add_edge(NodeId u, NodeId v) {
+  DUALRAD_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+                  "edge endpoint out of range");
+  DUALRAD_REQUIRE(u != v, "self-loops are not allowed");
+  edges_.push_back(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint32_t>(v));
+}
+
+CsrGraph CsrGraphBuilder::freeze() {
+  // Packed (u << 32) | v keys sort by source then target, so one sort both
+  // groups the rows and orders each row ascending; dedup is then adjacent.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  DUALRAD_REQUIRE(edges_.size() < (std::uint64_t{1} << 32),
+                  "CSR snapshot supports < 2^32 edges");
+
+  std::vector<std::uint32_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<NodeId> targets;
+  targets.reserve(edges_.size());
+  for (const std::uint64_t e : edges_) {
+    ++offsets[static_cast<std::size_t>(e >> 32) + 1];
+    targets.push_back(static_cast<NodeId>(e & 0xFFFFFFFFULL));
+  }
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n_); ++u) {
+    offsets[u + 1] += offsets[u];
+  }
+  edges_ = {};  // release the packed array before handing out the CSR
+  return CsrGraph(std::move(offsets), std::move(targets));
 }
 
 }  // namespace dualrad

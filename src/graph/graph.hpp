@@ -10,7 +10,8 @@
 
 /// \file graph.hpp
 /// A simple directed graph with O(1) edge lookup and in/out adjacency lists,
-/// plus a frozen CSR (compressed sparse row) snapshot for hot paths.
+/// plus a frozen CSR (compressed sparse row) snapshot for hot paths and a
+/// streaming CSR builder for large-n construction.
 ///
 /// Graphs in the dual graph model (Section 2.1) are directed; a network is
 /// called *undirected* when every edge appears in both directions. The
@@ -19,6 +20,14 @@
 /// *builder*; performance-sensitive consumers (the round engine, the trace
 /// auditor) freeze it into a `CsrGraph` once per execution and iterate flat
 /// arrays instead of a vector-of-vectors.
+///
+/// Memory at scale: `Graph` keeps a hash set of packed edge keys for O(1)
+/// has_edge, which costs tens of bytes per edge and dominates peak RSS from
+/// n ~ 10^5 up. Scale workloads should skip `Graph` entirely and stream
+/// edges into a `CsrGraphBuilder` (~8 bytes per emitted edge transient,
+/// sort-based dedup, ~4 bytes per edge frozen); callers that must route
+/// through `Graph` can bound the damage with `reserve_edges` + a
+/// `release_edge_index` once construction is complete.
 
 namespace dualrad {
 
@@ -32,7 +41,7 @@ class Graph {
   [[nodiscard]] NodeId node_count() const {
     return static_cast<NodeId>(out_.size());
   }
-  [[nodiscard]] std::size_t edge_count() const { return edge_set_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_list_.size(); }
 
   /// Add the directed edge (u, v). Self-loops and duplicates are rejected.
   void add_edge(NodeId u, NodeId v);
@@ -42,6 +51,18 @@ class Graph {
 
   /// True iff the directed edge (u, v) exists.
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Size the edge index (and edge list) for `edges` insertions up front, so
+  /// bulk construction does not rehash repeatedly.
+  void reserve_edges(std::size_t edges);
+
+  /// Drop the hash-set edge index — the peak-RSS hog at large n. The graph
+  /// stays fully functional: has_edge (and the add_edge duplicate check)
+  /// fall back to scanning the out-adjacency of u, which is O(out_degree)
+  /// instead of O(1). Call after construction, once the graph is about to be
+  /// frozen or used read-mostly; adding more edges afterwards is legal but
+  /// slow on high-degree nodes.
+  void release_edge_index();
 
   [[nodiscard]] const std::vector<NodeId>& out_neighbors(NodeId u) const;
   [[nodiscard]] const std::vector<NodeId>& in_neighbors(NodeId u) const;
@@ -69,9 +90,9 @@ class Graph {
     return edge_list_;
   }
 
-  friend bool operator==(const Graph& a, const Graph& b) {
-    return a.out_.size() == b.out_.size() && a.edge_set_ == b.edge_set_;
-  }
+  /// Equality is edge-set equality on the same vertex count (insertion order
+  /// is irrelevant; works whether or not either side released its index).
+  friend bool operator==(const Graph& a, const Graph& b);
 
  private:
   void check_node(NodeId u, const char* what) const;
@@ -83,29 +104,39 @@ class Graph {
   std::vector<std::vector<NodeId>> out_{};
   std::vector<std::vector<NodeId>> in_{};
   std::unordered_set<std::uint64_t> edge_set_{};
+  bool indexed_ = true;  ///< false once release_edge_index() dropped the set
   std::vector<std::pair<NodeId, NodeId>> edge_list_{};
 };
 
-/// Immutable CSR snapshot of a Graph's out-adjacency.
+/// Immutable CSR snapshot of a directed graph's out-adjacency.
 ///
 /// Two flat arrays replace the per-node neighbor vectors: `offsets_[u]`
-/// indexes into `targets_`, and `row(u)` returns the out-neighbors of `u`
-/// *in the builder's insertion order* — the round engine relies on that
-/// order matching `Graph::out_neighbors` exactly, so executions are
-/// bit-identical whichever representation delivers the messages. A per-row
-/// sorted copy backs `contains()` (binary search), replacing the builder's
-/// hash-set lookup on membership-heavy paths.
+/// indexes into `targets_`, and `row(u)` returns the out-neighbors of `u`.
+/// Snapshots frozen from a `Graph` keep the builder's *insertion order* —
+/// the round engine relies on that order matching `Graph::out_neighbors`
+/// exactly, so executions are bit-identical whichever representation
+/// delivers the messages — and carry a per-row sorted copy backing
+/// `contains()` (binary search). Snapshots produced by `CsrGraphBuilder`
+/// have rows already sorted ascending, so `contains()` searches the rows
+/// directly and the sorted copy (and its ~4 bytes/edge) is not allocated.
 class CsrGraph {
  public:
   CsrGraph() = default;
   explicit CsrGraph(const Graph& g);
+
+  /// Build from explicit rows in the given order (offsets has node_count + 1
+  /// entries; targets[offsets[u]..offsets[u+1]) is row u). Row order is
+  /// preserved; a sorted index is built only if some row is unsorted.
+  [[nodiscard]] static CsrGraph from_rows(std::vector<std::uint32_t> offsets,
+                                          std::vector<NodeId> targets);
 
   [[nodiscard]] NodeId node_count() const {
     return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
   }
   [[nodiscard]] std::size_t edge_count() const { return targets_.size(); }
 
-  /// Out-neighbors of u, in the order they were added to the builder.
+  /// Out-neighbors of u: insertion order for Graph-frozen snapshots,
+  /// ascending for builder-frozen ones.
   [[nodiscard]] std::span<const NodeId> row(NodeId u) const {
     const auto uu = static_cast<std::size_t>(u);
     return {targets_.data() + offsets_[uu], offsets_[uu + 1] - offsets_[uu]};
@@ -116,13 +147,68 @@ class CsrGraph {
     return offsets_[uu + 1] - offsets_[uu];
   }
 
+  /// True iff rows are sorted ascending (builder-frozen snapshots).
+  [[nodiscard]] bool rows_sorted() const { return sorted_.empty(); }
+
   /// True iff the directed edge (u, v) exists. O(log out_degree(u)).
   [[nodiscard]] bool contains(NodeId u, NodeId v) const;
 
+  /// True iff for every edge (u, v), the reverse edge (v, u) exists.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// True iff every edge of this graph is an edge of `other` (same vertex
+  /// set required).
+  [[nodiscard]] bool is_subgraph_of(const CsrGraph& other) const;
+
+  [[nodiscard]] std::size_t max_out_degree() const;
+
+  /// Maximum in-degree over all nodes (the Delta of [11]). O(m).
+  [[nodiscard]] std::size_t max_in_degree() const;
+
  private:
+  friend class CsrGraphBuilder;
+  CsrGraph(std::vector<std::uint32_t> offsets, std::vector<NodeId> targets)
+      : offsets_(std::move(offsets)), targets_(std::move(targets)) {}
+
   std::vector<std::uint32_t> offsets_{};  ///< size node_count() + 1
-  std::vector<NodeId> targets_{};         ///< insertion order per row
-  std::vector<NodeId> sorted_{};          ///< per-row sorted copy of targets_
+  std::vector<NodeId> targets_{};
+  std::vector<NodeId> sorted_{};  ///< per-row sorted copy; empty = rows sorted
+};
+
+/// Streaming CSR construction for large graphs: emit directed edges into a
+/// flat packed array (8 bytes each, duplicates welcome), then `freeze()`
+/// sorts, deduplicates, and lays out the CSR — no hash set, no per-node
+/// vectors, no `Graph` intermediate. Peak RSS is ~8 bytes per emitted edge
+/// during construction and ~4 bytes per distinct edge after freeze, which
+/// is what makes 10^6-node generator families fit in memory. Frozen rows
+/// are sorted ascending (a builder-frozen CsrGraph therefore needs no
+/// separate sorted index).
+class CsrGraphBuilder {
+ public:
+  explicit CsrGraphBuilder(NodeId n);
+
+  [[nodiscard]] NodeId node_count() const { return n_; }
+  /// Edges emitted so far, duplicates included.
+  [[nodiscard]] std::size_t emitted() const { return edges_.size(); }
+
+  void reserve(std::size_t edges) { edges_.reserve(edges); }
+
+  /// Emit the directed edge (u, v). Self-loops are rejected; duplicates are
+  /// collapsed at freeze().
+  void add_edge(NodeId u, NodeId v);
+
+  /// Emit both (u, v) and (v, u).
+  void add_undirected_edge(NodeId u, NodeId v) {
+    add_edge(u, v);
+    add_edge(v, u);
+  }
+
+  /// Sort + dedup + lay out the CSR. The builder is left empty (reusable).
+  [[nodiscard]] CsrGraph freeze();
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::uint64_t> edges_{};  ///< packed (u << 32) | v
 };
 
 }  // namespace dualrad

@@ -33,6 +33,10 @@ InterferenceResult run_interference_broadcast(const InterferenceNetwork& net,
 
   InterferenceResult result;
   result.first_token.assign(un, kNever);
+  // This engine targets the small dual-interference constructions of
+  // Lemma 1; it has no memory-capped mode.
+  DUALRAD_REQUIRE(config.trace != TraceLevel::Bounded,
+                  "interference engine does not support TraceLevel::Bounded");
   result.trace.level = config.trace;
 
   std::vector<std::unique_ptr<Process>> proc_at(un);

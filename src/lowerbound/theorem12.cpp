@@ -499,7 +499,8 @@ class Builder {
       for (ProcessId p : commit.senders) {
         const NodeId u = node_of_pid_[static_cast<std::size_t>(p)];
         if (commit.delivery == Delivery::All) {
-          plan[u] = net.unreliable_out(u);
+          const auto extra = net.unreliable_out(u);
+          plan[u].assign(extra.begin(), extra.end());
           continue;
         }
         // Restricted: message reaches exactly the targets' nodes.

@@ -18,7 +18,7 @@ using testing::scripted_factory;
 
 AdversaryView make_view(const DualGraph& net,
                         const std::vector<ProcessId>& mapping,
-                        const std::vector<bool>& covered, Round round) {
+                        const NodeFlags& covered, Round round) {
   return AdversaryView{&net, &mapping, &covered, round};
 }
 
@@ -30,7 +30,7 @@ TEST(Bernoulli, FiresSubsetOfUnreliableEdges) {
   adversary.on_execution_start(net);
   std::vector<ProcessId> mapping(10);
   std::iota(mapping.begin(), mapping.end(), 0);
-  std::vector<bool> covered(10, false);
+  NodeFlags covered(10, 0);
   const auto view = make_view(net, mapping, covered, 1);
   const std::vector<NodeId> senders = {2, 3};
   const auto reach = adversary.choose_unreliable_reach(view, senders);
@@ -82,7 +82,7 @@ TEST(GreedyBlocker, JamsSoloDeliveryToUncoveredNode) {
   const DualGraph net(std::move(g), std::move(gp), 0);
   GreedyBlockerAdversary adversary;
   std::vector<ProcessId> mapping = {0, 1, 2};
-  std::vector<bool> covered = {true, true, false};
+  NodeFlags covered = {1, 1, 0};
   const auto view = make_view(net, mapping, covered, 5);
   const auto reach =
       adversary.choose_unreliable_reach(view, {0, 1});
@@ -99,7 +99,7 @@ TEST(GreedyBlocker, LeavesCoveredNodesAlone) {
   const DualGraph net(std::move(g), std::move(gp), 0);
   GreedyBlockerAdversary adversary;
   std::vector<ProcessId> mapping = {0, 1, 2};
-  std::vector<bool> covered = {true, true, true};
+  NodeFlags covered = {1, 1, 1};
   const auto view = make_view(net, mapping, covered, 5);
   const auto reach = adversary.choose_unreliable_reach(view, {0, 1});
   EXPECT_TRUE(reach[0].extra.empty());
@@ -113,7 +113,7 @@ TEST(GreedyBlocker, CannotJamLoneSender) {
   const DualGraph net(std::move(g), std::move(gp), 0);
   GreedyBlockerAdversary adversary;
   std::vector<ProcessId> mapping = {0, 1, 2};
-  std::vector<bool> covered = {true, true, false};
+  NodeFlags covered = {1, 1, 0};
   const auto view = make_view(net, mapping, covered, 5);
   const auto reach = adversary.choose_unreliable_reach(view, {1});
   EXPECT_TRUE(reach[0].extra.empty());  // progress is unavoidable
@@ -158,7 +158,7 @@ TEST(GreedyBlocker, Cr4HandsOverTokenlessMessage) {
   GreedyBlockerAdversary adversary;
   const DualGraph net = duals::bridge_network(5);
   std::vector<ProcessId> mapping = {0, 1, 2, 3, 4};
-  std::vector<bool> covered(5, false);
+  NodeFlags covered(5, 0);
   const auto view = make_view(net, mapping, covered, 1);
   const Message with_token{true, 0, 1, 0};
   const Message without{false, 1, 1, 0};

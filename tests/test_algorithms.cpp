@@ -1,15 +1,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <string>
 #include <tuple>
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/greedy_blocker.hpp"
+#include "algorithms/cms_oblivious.hpp"
 #include "algorithms/decay.hpp"
 #include "algorithms/harmonic.hpp"
 #include "algorithms/round_robin_bcast.hpp"
+#include "algorithms/scheduled.hpp"
 #include "algorithms/strong_select.hpp"
+#include "algorithms/uniform_gossip.hpp"
+#include "core/rng.hpp"
 #include "core/simulator.hpp"
 #include "graph/dual_builders.hpp"
 #include "graph/generators.hpp"
@@ -383,6 +388,133 @@ TEST(Harmonic, BusyRoundsBoundedByNTHn) {
     if (total >= 1.0) ++busy;
   }
   EXPECT_LE(busy, harmonic_round_bound(net.node_count(), t_used) / 2);
+}
+
+// --------------------------------------------- scheduling-hint soundness
+
+/// The Process::next_send_round contract: walking the hints from any round
+/// must probe every round at which next_action would transmit, assuming no
+/// intervening state transition. (Over-promising is legal — the engine just
+/// re-asks — so the hint walk must cover, not equal, the true send set.)
+void expect_hints_cover_sends(const Process& proc, Round from, Round window,
+                              const std::string& label) {
+  std::set<Round> sends;
+  for (Round r = from; r < from + window; ++r) {
+    if (proc.next_action(r).send) sends.insert(r);  // idempotent probe
+  }
+  std::set<Round> probed;
+  for (Round r = from;;) {
+    const Round hint = proc.next_send_round(r);
+    ASSERT_TRUE(hint == kNever || hint >= r)
+        << label << ": hint " << hint << " before from " << r;
+    if (hint == kNever || hint >= from + window) break;
+    probed.insert(hint);
+    r = hint + 1;
+  }
+  for (const Round s : sends) {
+    EXPECT_TRUE(probed.contains(s))
+        << label << ": hint walk from " << from << " skipped send round " << s;
+  }
+}
+
+/// silence_transparent() claims silence receptions are no-ops: feeding one
+/// must leave the observable schedule (actions and hints) unchanged.
+void expect_silence_transparent(const Process& proc, Round at, Round window,
+                                const std::string& label) {
+  if (!proc.silence_transparent()) return;
+  const auto muted = proc.clone();
+  muted->on_receive(at, Reception::silence());
+  for (Round r = at + 1; r < at + 1 + window; ++r) {
+    const Action a = proc.next_action(r);
+    const Action b = muted->next_action(r);
+    EXPECT_EQ(a.send, b.send) << label << " round " << r;
+    if (a.send && b.send) EXPECT_EQ(a.message, b.message) << label;
+  }
+  EXPECT_EQ(proc.next_send_round(at + 1), muted->next_send_round(at + 1))
+      << label;
+}
+
+/// Property harness: drive processes of every algorithm through randomized
+/// histories — activation with or without the token, token arrival at a
+/// random later round, collision and silence receptions in between — and
+/// after every transition check hint soundness over a lookahead window.
+void check_hint_soundness(const std::string& name,
+                          const ProcessFactory& factory, NodeId n,
+                          std::uint64_t seed) {
+  StreamRng rng(seed);
+  constexpr Round kWindow = 160;
+  for (int history = 0; history < 10; ++history) {
+    const auto id = static_cast<ProcessId>(
+        rng.below(static_cast<std::uint64_t>(n)));
+    const std::string label = name + "/id=" + std::to_string(id) +
+                              "/history=" + std::to_string(history);
+    const auto proc =
+        factory(id, n, mix_seed(seed, static_cast<std::uint64_t>(id)));
+
+    // Uninformed hint must already be sound (typically kNever).
+    const bool source_like = rng.bernoulli(0.3);
+    const Round wake = source_like
+                           ? 0
+                           : static_cast<Round>(1 + rng.below(7));
+    const Message token_msg{/*token=*/true, /*origin=*/0,
+                            /*round_tag=*/wake, /*payload=*/1};
+    if (source_like) {
+      proc->on_activate(0, token_msg);  // the source: token from round 0
+    } else {
+      proc->on_activate(wake, std::nullopt);  // sync start, no token yet
+    }
+    Round now = wake + 1;
+    expect_hints_cover_sends(*proc, now, kWindow, label + "/awake");
+    expect_silence_transparent(*proc, now, kWindow / 2, label + "/awake");
+
+    // A few receptions: collisions and silences (no-ops for token state),
+    // then the token, then more noise — re-verifying after each.
+    for (int step = 0; step < 4; ++step) {
+      now += static_cast<Round>(1 + rng.below(9));
+      const std::uint64_t kind = rng.below(3);
+      Reception rec = Reception::silence();
+      if (kind == 0) {
+        rec = Reception::collision();
+      } else if (kind == 1) {
+        rec = Reception::of(Message{/*token=*/true, /*origin=*/1,
+                                    /*round_tag=*/now, /*payload=*/2});
+      }
+      proc->on_receive(now, rec);
+      expect_hints_cover_sends(*proc, now + 1, kWindow,
+                               label + "/step=" + std::to_string(step));
+      expect_silence_transparent(*proc, now + 1, kWindow / 2,
+                                 label + "/step=" + std::to_string(step));
+      // Also from a later round than the transition (memo fast paths).
+      const Round later = now + 1 + static_cast<Round>(rng.below(40));
+      expect_hints_cover_sends(*proc, later, kWindow / 2,
+                               label + "/later=" + std::to_string(step));
+    }
+  }
+}
+
+TEST(SchedulingHints, SoundForEveryAlgorithmOverRandomHistories) {
+  constexpr NodeId n = 24;
+  std::vector<ProcessId> schedule(static_cast<std::size_t>(n) + 5);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    schedule[i] = static_cast<ProcessId>((i * 5) % static_cast<std::size_t>(n));
+  }
+  const std::vector<std::pair<std::string, ProcessFactory>> factories = {
+      {"round-robin", make_round_robin_factory(n)},
+      {"scheduled", make_scheduled_factory(n, schedule)},
+      {"harmonic", make_harmonic_factory(n, {.eps = 0.2})},
+      {"cms-oblivious", make_cms_oblivious_factory(n, {.delta = 5})},
+      {"decay", make_decay_factory(n)},
+      {"decay-windowed",
+       make_decay_factory(n, {.active_phases = 2, .rebroadcast_period = 8})},
+      {"decay-windowed-final",
+       make_decay_factory(n, {.active_phases = 1, .rebroadcast_period = 0})},
+      {"strong-select", make_strong_select_factory(n)},  // default hint
+      {"gossip", make_uniform_gossip_factory(n)},        // default hint
+  };
+  std::uint64_t seed = 0x9E55;
+  for (const auto& [name, factory] : factories) {
+    check_hint_soundness(name, factory, n, seed++);
+  }
 }
 
 }  // namespace

@@ -68,6 +68,35 @@ TEST(CampaignEngine, JsonlByteIdenticalAcrossWorkerCounts) {
   }
 }
 
+// The sharded parallel round kernel inside a trial (SimConfig::threads via
+// CampaignConfig::threads_per_trial) must not move a byte of campaign
+// output either — its shard merge is deterministic and every observable is
+// per-node independent.
+TEST(CampaignEngine, JsonlByteIdenticalAcrossThreadsPerTrial) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  std::string baseline_trials, baseline_summaries;
+  for (unsigned threads_per_trial : {1u, 4u}) {
+    CampaignConfig config;
+    config.master_seed = 123;
+    config.threads = 2;
+    config.threads_per_trial = threads_per_trial;
+    const CampaignResult result = run_campaign(scenarios, config);
+    const std::string trials = trials_to_jsonl(result.trials);
+    const std::string summaries = summaries_to_jsonl(result.summaries);
+    const std::string trials_csv = trials_to_csv(result.trials);
+    if (threads_per_trial == 1) {
+      baseline_trials = trials + trials_csv;
+      baseline_summaries = summaries;
+      EXPECT_FALSE(trials.empty());
+    } else {
+      EXPECT_EQ(trials + trials_csv, baseline_trials)
+          << "threads_per_trial=" << threads_per_trial;
+      EXPECT_EQ(summaries, baseline_summaries)
+          << "threads_per_trial=" << threads_per_trial;
+    }
+  }
+}
+
 TEST(CampaignEngine, RowOrderIsScenarioThenTrial) {
   const CampaignResult result = run_campaign(cheap_campaign(), {});
   ASSERT_EQ(result.trials.size(), 4u + 4u + 2u);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/basic_adversaries.hpp"
+#include "algorithms/round_robin_bcast.hpp"
 #include "core/simulator.hpp"
 #include "graph/dual_builders.hpp"
 #include "graph/generators.hpp"
@@ -317,6 +318,39 @@ TEST(Simulator, StopsAtMaxRounds) {
   const SimResult result = run_broadcast(net, factory, adversary, config);
   EXPECT_EQ(result.rounds_executed, 5);
   EXPECT_FALSE(result.completed);
+}
+
+TEST(BoundedTrace, RejectsZeroWindow) {
+  const DualGraph net = make_classical(gen::path(3), 0);
+  BenignAdversary adversary;
+  SimConfig config;
+  config.trace = TraceLevel::Bounded;
+  config.trace_window = 0;
+  EXPECT_THROW(
+      run_broadcast(net, make_round_robin_factory(net.node_count()),
+                    adversary, config),
+      std::invalid_argument);
+}
+
+TEST(BoundedTrace, ShortExecutionFitsEntirelyInWindow) {
+  const DualGraph net = make_classical(gen::path(4), 0);
+  BenignAdversary adversary;
+  SimConfig config;
+  config.start = StartRule::Synchronous;
+  config.rule = CollisionRule::CR3;
+  config.trace = TraceLevel::Bounded;
+  config.trace_window = 64;
+  const SimResult result = run_broadcast(
+      net, make_round_robin_factory(net.node_count()), adversary, config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.trace.rounds_recorded, result.rounds_executed);
+  std::uint64_t ring_sends = 0;
+  for (Round r = 1; r <= result.rounds_executed; ++r) {
+    ASSERT_TRUE(result.trace.in_window(r));
+    ring_sends += result.trace.ring_senders_at(r);
+  }
+  EXPECT_EQ(ring_sends, result.total_sends);
+  EXPECT_EQ(result.trace.agg.total_sends, result.total_sends);
 }
 
 }  // namespace

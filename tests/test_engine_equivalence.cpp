@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/greedy_blocker.hpp"
+#include "algorithms/cms_oblivious.hpp"
 #include "algorithms/decay.hpp"
 #include "algorithms/harmonic.hpp"
 #include "algorithms/round_robin_bcast.hpp"
+#include "algorithms/scheduled.hpp"
 #include "algorithms/strong_select.hpp"
 #include "algorithms/uniform_gossip.hpp"
 #include "campaign/builtin_scenarios.hpp"
@@ -23,10 +26,11 @@
 /// The sparse CSR engine (run_broadcast) must be *bit-identical* to the
 /// dense reference engine (run_broadcast_reference) — same SimResult down to
 /// trace vectors and process metrics — for every network, algorithm,
-/// adversary, collision rule, start rule, and token count. These tests sweep
-/// randomized small executions across the full model surface and then
-/// replay the entire builtin campaign grid through both engines with the
-/// campaign's own trial seeds.
+/// adversary, collision rule, start rule, token count, AND thread count of
+/// the sharded parallel round kernel (SimConfig::threads). These tests sweep
+/// randomized small executions across the full model surface (each also
+/// replayed under threads in {2, 4}) and then replay the entire builtin
+/// campaign grid through both engines with the campaign's own trial seeds.
 
 namespace dualrad {
 namespace {
@@ -45,6 +49,11 @@ void expect_identical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.trace.senders_per_round, b.trace.senders_per_round) << label;
   EXPECT_EQ(a.trace.collisions_per_round, b.trace.collisions_per_round)
       << label;
+  EXPECT_EQ(a.trace.window, b.trace.window) << label;
+  EXPECT_EQ(a.trace.rounds_recorded, b.trace.rounds_recorded) << label;
+  EXPECT_EQ(a.trace.ring_senders, b.trace.ring_senders) << label;
+  EXPECT_EQ(a.trace.ring_collisions, b.trace.ring_collisions) << label;
+  EXPECT_EQ(a.trace.agg, b.trace.agg) << label;
   ASSERT_EQ(a.trace.rounds.size(), b.trace.rounds.size()) << label;
   for (std::size_t r = 0; r < a.trace.rounds.size(); ++r) {
     const RoundRecord& ra = a.trace.rounds[r];
@@ -68,31 +77,61 @@ void expect_identical(const SimResult& a, const SimResult& b,
   }
 }
 
-/// Run one spec through both engines (each with its own fresh adversary)
-/// and compare.
+/// Run one spec through the production engine (serial), the production
+/// engine under the sharded parallel kernel (threads in {2, 4}), and the
+/// reference engine — each with its own fresh adversary — and require all
+/// four SimResults identical.
 void run_both(const DualGraph& net, const ProcessFactory& factory,
               const campaign::AdversaryFactory& adversary,
               const SimConfig& config, const std::string& label) {
   const auto adv_a = adversary(mix_seed(config.seed, 0xAD));
-  const auto adv_b = adversary(mix_seed(config.seed, 0xAD));
   const SimResult fast = run_broadcast(net, factory, *adv_a, config);
+  for (const unsigned threads : {2u, 4u}) {
+    SimConfig parallel = config;
+    parallel.threads = threads;
+    const auto adv_p = adversary(mix_seed(config.seed, 0xAD));
+    const SimResult sharded = run_broadcast(net, factory, *adv_p, parallel);
+    expect_identical(sharded, fast,
+                     label + "/threads=" + std::to_string(threads));
+  }
+  const auto adv_b = adversary(mix_seed(config.seed, 0xAD));
   const SimResult reference =
       run_broadcast_reference(net, factory, *adv_b, config);
   expect_identical(fast, reference, label);
 }
 
-using AlgorithmFactory = ProcessFactory (*)(NodeId);
+using AlgorithmFactory = ProcessFactory (*)(const DualGraph&);
 
-ProcessFactory decay_algo(NodeId n) { return make_decay_factory(n); }
-ProcessFactory harmonic_algo(NodeId n) {
-  return make_harmonic_factory(n, {.eps = 0.2});
+ProcessFactory decay_algo(const DualGraph& net) {
+  return make_decay_factory(net.node_count());
 }
-ProcessFactory gossip_algo(NodeId n) { return make_uniform_gossip_factory(n); }
-ProcessFactory round_robin_algo(NodeId n) {
-  return make_round_robin_factory(n);
+ProcessFactory harmonic_algo(const DualGraph& net) {
+  return make_harmonic_factory(net.node_count(), {.eps = 0.2});
 }
-ProcessFactory strong_select_algo(NodeId n) {
-  return make_strong_select_factory(n);
+ProcessFactory gossip_algo(const DualGraph& net) {
+  return make_uniform_gossip_factory(net.node_count());
+}
+ProcessFactory round_robin_algo(const DualGraph& net) {
+  return make_round_robin_factory(net.node_count());
+}
+ProcessFactory strong_select_algo(const DualGraph& net) {
+  return make_strong_select_factory(net.node_count());
+}
+ProcessFactory scheduled_algo(const DualGraph& net) {
+  // A non-trivial TDMA schedule: period n + 3, ids rotated by stride 3, so
+  // some ids own several slots per period and (for n not coprime with 3)
+  // others own none — exercising both multi-slot hints and kNever plans.
+  const NodeId n = net.node_count();
+  std::vector<ProcessId> slots(static_cast<std::size_t>(n) + 3);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i] = static_cast<ProcessId>((i * 3) % static_cast<std::size_t>(n));
+  }
+  return make_scheduled_factory(n, std::move(slots));
+}
+ProcessFactory cms_algo(const DualGraph& net) {
+  return make_cms_oblivious_factory(
+      net.node_count(),
+      {.delta = static_cast<NodeId>(net.g_prime_csr().max_in_degree())});
 }
 
 TEST(EngineEquivalence, RandomSmallScenarios) {
@@ -105,6 +144,8 @@ TEST(EngineEquivalence, RandomSmallScenarios) {
       {"gossip", gossip_algo},
       {"round-robin", round_robin_algo},
       {"strong-select", strong_select_algo},
+      {"scheduled", scheduled_algo},
+      {"cms", cms_algo},
   };
   const std::vector<std::pair<const char*, campaign::AdversaryFactory>>
       adversaries = {
@@ -145,7 +186,7 @@ TEST(EngineEquivalence, RandomSmallScenarios) {
         config.max_rounds = 30'000;
         config.seed = mix_seed(1234, combo);
         config.trace = TraceLevel::Full;
-        run_both(net, algo(net.node_count()), adversary, config,
+        run_both(net, algo(net), adversary, config,
                  std::string(algo_name) + "/" + net_name + "/" + adv_name +
                      "/" + to_string(rule) + "/" + to_string(start));
       }
@@ -191,12 +232,75 @@ TEST(EngineEquivalence, StopOnCompletionOffMatchesToo) {
            "decay/no-stop");
 }
 
+TEST(EngineEquivalence, BoundedTraceMatchesAndFoldsCounts) {
+  // Bounded mode must agree between engines and thread counts (run_both),
+  // and its ring + aggregates must be exactly the tail + fold of what
+  // Counts mode records for the same execution.
+  const DualGraph net = duals::layered_sparse(
+      {.layers = 10, .width = 8, .fwd_degree = 2, .unreliable_degree = 1,
+       .seed = 21});
+  SimConfig config;
+  config.rule = CollisionRule::CR3;
+  config.max_rounds = 50'000;
+  config.seed = 99;
+  config.trace = TraceLevel::Bounded;
+  config.trace_window = 16;
+  const auto factory = make_decay_factory(net.node_count());
+  const auto adversary =
+      campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.4);
+  run_both(net, factory, adversary, config, "decay/bounded");
+
+  const auto adv_bounded = adversary(mix_seed(config.seed, 0xAD));
+  const SimResult bounded = run_broadcast(net, factory, *adv_bounded, config);
+  SimConfig counts_config = config;
+  counts_config.trace = TraceLevel::Counts;
+  const auto adv_counts = adversary(mix_seed(config.seed, 0xAD));
+  const SimResult counts =
+      run_broadcast(net, factory, *adv_counts, counts_config);
+
+  const auto rounds = static_cast<Round>(counts.trace.senders_per_round.size());
+  ASSERT_GT(rounds, static_cast<Round>(config.trace_window))
+      << "execution too short to wrap the ring";
+  EXPECT_EQ(bounded.trace.rounds_recorded, rounds);
+  EXPECT_EQ(bounded.trace.window, config.trace_window);
+  std::uint64_t sends = 0, collisions = 0;
+  std::uint32_t max_senders = 0;
+  for (Round r = 1; r <= rounds; ++r) {
+    const auto s = counts.trace.senders_per_round[static_cast<std::size_t>(r - 1)];
+    sends += s;
+    collisions +=
+        counts.trace.collisions_per_round[static_cast<std::size_t>(r - 1)];
+    max_senders = std::max(max_senders, s);
+    if (bounded.trace.in_window(r)) {
+      EXPECT_EQ(bounded.trace.ring_senders_at(r), s) << "round " << r;
+      EXPECT_EQ(
+          bounded.trace.ring_collisions_at(r),
+          counts.trace.collisions_per_round[static_cast<std::size_t>(r - 1)])
+          << "round " << r;
+    }
+  }
+  EXPECT_FALSE(bounded.trace.in_window(0));
+  EXPECT_FALSE(bounded.trace.in_window(rounds - static_cast<Round>(config.trace_window)));
+  EXPECT_TRUE(bounded.trace.in_window(rounds));
+  EXPECT_EQ(bounded.trace.agg.total_sends, sends);
+  EXPECT_EQ(bounded.trace.agg.total_sends, bounded.total_sends);
+  EXPECT_EQ(bounded.trace.agg.total_collision_events, collisions);
+  EXPECT_EQ(bounded.trace.agg.max_senders, max_senders);
+  EXPECT_EQ(counts.trace.senders_per_round[static_cast<std::size_t>(
+                bounded.trace.agg.max_senders_round - 1)],
+            max_senders);
+  // Bounded mode allocates no per-round vectors.
+  EXPECT_TRUE(bounded.trace.senders_per_round.empty());
+  EXPECT_TRUE(bounded.trace.rounds.empty());
+}
+
 TEST(EngineEquivalence, BuiltinCampaignGridIsBitIdentical) {
-  // Replay the builtin catalogue through both engines with the campaign's
-  // own derived trial seeds (master seed 1, trial 0 — exactly what
-  // run_campaign hands the simulator), proving the production engine swap
-  // does not shift a single campaign number. The 100k "slow" points are
-  // exercised by bench_engine_scaling instead; everything else runs here.
+  // Replay the builtin catalogue through both engines — and the parallel
+  // kernel at 4 threads — with the campaign's own derived trial seeds
+  // (master seed 1, trial 0 — exactly what run_campaign hands the
+  // simulator), proving the production engine swap does not shift a single
+  // campaign number. The 100k/1m "slow" points are exercised by
+  // bench_engine_scaling instead; everything else runs here.
   const campaign::ScenarioRegistry registry = campaign::builtin_registry();
   std::size_t checked = 0;
   for (const campaign::Scenario& s : registry.all()) {
@@ -214,8 +318,13 @@ TEST(EngineEquivalence, BuiltinCampaignGridIsBitIdentical) {
     config.seed = campaign::trial_seed(1, s.name, 0);
     config.token_sources = s.token_sources;
     const auto adv_a = s.adversary(mix_seed(config.seed, 0xAD));
+    const auto adv_p = s.adversary(mix_seed(config.seed, 0xAD));
     const auto adv_b = s.adversary(mix_seed(config.seed, 0xAD));
     const SimResult fast = run_broadcast(net, factory, *adv_a, config);
+    SimConfig parallel = config;
+    parallel.threads = 4;
+    const SimResult sharded = run_broadcast(net, factory, *adv_p, parallel);
+    expect_identical(sharded, fast, s.name + "/threads=4");
     const SimResult reference =
         run_broadcast_reference(net, factory, *adv_b, config);
     expect_identical(fast, reference, s.name);

@@ -322,5 +322,132 @@ TEST(DualBuilders, LayeredCompleteGPrime) {
   EXPECT_FALSE(net.is_classical());
 }
 
+// ------------------------------------------------------- CsrGraphBuilder
+
+TEST(CsrGraphBuilder, DedupsAndSortsRows) {
+  CsrGraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 1);
+  b.add_edge(2, 4);  // duplicate collapses at freeze
+  b.add_undirected_edge(0, 3);
+  b.add_undirected_edge(0, 3);  // both directions duplicated
+  const CsrGraph csr = b.freeze();
+  EXPECT_EQ(csr.edge_count(), 4u);
+  EXPECT_TRUE(csr.rows_sorted());
+  ASSERT_EQ(csr.out_degree(2), 2u);
+  EXPECT_EQ(csr.row(2)[0], 1);
+  EXPECT_EQ(csr.row(2)[1], 4);
+  EXPECT_TRUE(csr.contains(2, 4));
+  EXPECT_TRUE(csr.contains(0, 3));
+  EXPECT_TRUE(csr.contains(3, 0));
+  EXPECT_FALSE(csr.contains(4, 2));
+  EXPECT_FALSE(csr.contains(2, 2));
+  EXPECT_FALSE(csr.contains(-1, 2));
+  EXPECT_EQ(b.emitted(), 0u) << "freeze leaves the builder empty";
+}
+
+TEST(CsrGraphBuilder, RejectsSelfLoopsAndOutOfRange) {
+  CsrGraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(-1, 0), std::invalid_argument);
+}
+
+TEST(CsrGraphBuilder, MatchesGraphFrozenSnapshotUpToRowOrder) {
+  // The same generator emitted into both sinks must give the same edge
+  // sets; builder rows are the sorted version of the Graph rows.
+  const Graph g = gen::complete_layered({1, 3, 2});
+  const CsrGraph from_graph(g);
+  const CsrGraph streamed = gen::complete_layered_csr({1, 3, 2});
+  ASSERT_EQ(streamed.node_count(), from_graph.node_count());
+  ASSERT_EQ(streamed.edge_count(), from_graph.edge_count());
+  for (NodeId u = 0; u < streamed.node_count(); ++u) {
+    auto row = from_graph.row(u);
+    std::vector<NodeId> sorted(row.begin(), row.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto srow = streamed.row(u);
+    EXPECT_TRUE(std::equal(srow.begin(), srow.end(), sorted.begin(),
+                           sorted.end()))
+        << "row " << u;
+  }
+  // Same for the other deterministic classics.
+  EXPECT_EQ(gen::clique_csr(7).edge_count(), gen::clique(7).edge_count());
+  EXPECT_EQ(gen::path_csr(9).edge_count(), gen::path(9).edge_count());
+  EXPECT_EQ(gen::cycle_csr(6).edge_count(), gen::cycle(6).edge_count());
+  EXPECT_EQ(gen::star_csr(8).edge_count(), gen::star(8).edge_count());
+  EXPECT_EQ(gen::grid_csr(4, 3).edge_count(), gen::grid(4, 3).edge_count());
+}
+
+TEST(CsrGraphBuilder, BacksCsrConstructedDualGraph) {
+  // A DualGraph built straight from frozen CSRs: validation, unreliable
+  // adjacency, and the lazy Graph view must all agree with the Graph path.
+  CsrGraphBuilder gb(4);
+  gb.add_undirected_edge(0, 1);
+  gb.add_undirected_edge(1, 2);
+  gb.add_undirected_edge(2, 3);
+  CsrGraphBuilder gpb(4);
+  gpb.add_undirected_edge(0, 1);
+  gpb.add_undirected_edge(1, 2);
+  gpb.add_undirected_edge(2, 3);
+  gpb.add_undirected_edge(0, 3);  // unreliable extra
+  const DualGraph net(gb.freeze(), gpb.freeze(), /*source=*/0);
+  EXPECT_EQ(net.node_count(), 4);
+  EXPECT_FALSE(net.is_classical());
+  EXPECT_TRUE(net.is_undirected());
+  EXPECT_EQ(net.unreliable_edge_count(), 2u);
+  ASSERT_EQ(net.unreliable_out(0).size(), 1u);
+  EXPECT_EQ(net.unreliable_out(0)[0], 3);
+  // Lazy Graph view materializes on demand and matches the CSR.
+  EXPECT_EQ(net.g().edge_count(), net.g_csr().edge_count());
+  EXPECT_TRUE(net.g_prime().has_edge(0, 3));
+  EXPECT_FALSE(net.g().has_edge(0, 3));
+}
+
+TEST(CsrGraphBuilder, CsrDualGraphValidatesLikeGraphPath) {
+  // E not a subset of E'.
+  CsrGraphBuilder g1(3);
+  g1.add_undirected_edge(0, 1);
+  g1.add_undirected_edge(1, 2);
+  CsrGraphBuilder gp1(3);
+  gp1.add_undirected_edge(0, 1);
+  EXPECT_THROW(DualGraph(g1.freeze(), gp1.freeze(), 0),
+               std::invalid_argument);
+  // Unreachable node in G.
+  CsrGraphBuilder g2(3);
+  g2.add_undirected_edge(0, 1);
+  CsrGraphBuilder gp2(3);
+  gp2.add_undirected_edge(0, 1);
+  gp2.add_undirected_edge(1, 2);
+  EXPECT_THROW(DualGraph(g2.freeze(), gp2.freeze(), 0),
+               std::invalid_argument);
+}
+
+TEST(Graph, ReleaseEdgeIndexKeepsSemantics) {
+  Graph g(5);
+  g.reserve_edges(8);
+  g.add_undirected_edge(0, 1);
+  g.add_undirected_edge(1, 2);
+  Graph indexed = g;
+  g.release_edge_index();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);  // dup still caught
+  g.add_undirected_edge(0, 2);  // adding after release stays legal
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 6u);
+  // Equality works across indexed/released representations.
+  EXPECT_FALSE(g == indexed);
+  indexed.add_undirected_edge(0, 2);
+  EXPECT_TRUE(g == indexed);
+}
+
+TEST(GraphAlg, CsrBfsMatchesGraphBfs) {
+  const Graph g = gen::gnp_connected(40, 0.08, 7);
+  const CsrGraph csr(g);
+  EXPECT_EQ(graphalg::bfs_distances(csr, 0), graphalg::bfs_distances(g, 0));
+  EXPECT_TRUE(graphalg::all_reachable(csr, 0));
+}
+
 }  // namespace
 }  // namespace dualrad

@@ -35,6 +35,7 @@ struct Options {
   std::string filter;
   std::uint64_t seed = 1;
   unsigned threads = 0;
+  unsigned threads_per_trial = 1;
   std::size_t trials = 0;  // 0 = per-scenario default
   std::string jsonl_path;
   std::string csv_path;
@@ -52,6 +53,9 @@ void usage() {
       "  --seed=N            master seed (default 1)\n"
       "  --threads=N         worker threads (default: hardware concurrency;\n"
       "                      output is identical for any value)\n"
+      "  --threads-per-trial=N  sharded parallel round kernel inside each\n"
+      "                      trial (SimConfig::threads; default 1). Output\n"
+      "                      is identical for any value\n"
       "  --trials=N          override every scenario's trial count\n"
       "  --jsonl=PATH        write per-trial rows as JSONL\n"
       "  --csv=PATH          write per-trial rows as CSV\n"
@@ -89,6 +93,8 @@ std::optional<Options> parse(int argc, char** argv) try {
       options.filter = *v;
     } else if (auto v = value("--seed=")) {
       options.seed = std::stoull(*v);
+    } else if (auto v = value("--threads-per-trial=")) {
+      options.threads_per_trial = static_cast<unsigned>(std::stoul(*v));
     } else if (auto v = value("--threads=")) {
       options.threads = static_cast<unsigned>(std::stoul(*v));
     } else if (auto v = value("--trials=")) {
@@ -200,6 +206,7 @@ int main(int argc, char** argv) {
     campaign::CampaignConfig config;
     config.master_seed = options.seed;
     config.threads = options.threads;
+    config.threads_per_trial = options.threads_per_trial;
     config.trials_override = options.trials;
     config.measure_wall_time = options.timing;
 
