@@ -1,7 +1,8 @@
 // Engine-scaling bench: the sparse CSR round engine vs the dense reference
 // engine, and the serial round loop vs the sharded parallel kernel, on the
 // scale/* workloads (Decay broadcast, sparse layered and gray-zone families,
-// n in {1k, 10k, 100k, 1m}).
+// n in {1k, 10k, 100k, 1m}, benign / bernoulli / greedy-blocker channels —
+// the greedy points exercise the sparse batch adversary API at scale).
 //
 // For every scale scenario this runs one campaign-seeded trial (master seed
 // 1, trial 0 — the exact execution dualrad_campaign would run):

@@ -2,14 +2,12 @@
 
 namespace dualrad {
 
-std::vector<ReachChoice> FullInterferenceAdversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
-  std::vector<ReachChoice> out(senders.size());
+void FullInterferenceAdversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
   for (std::size_t i = 0; i < senders.size(); ++i) {
-    const auto extra = view.net->unreliable_out(senders[i]);
-    out[i].extra.assign(extra.begin(), extra.end());
+    sink.add_span(i, view.unreliable->row(senders[i]));
   }
-  return out;
 }
 
 Reception FullInterferenceAdversary::resolve_cr4(
@@ -39,15 +37,17 @@ void BernoulliAdversary::on_execution_start(const DualGraph& net) {
   if (reset_each_execution_) rng_ = StreamRng(seed_);
 }
 
-std::vector<ReachChoice> BernoulliAdversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
-  std::vector<ReachChoice> out(senders.size());
+void BernoulliAdversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
+  // One coin per (sender, unreliable out-neighbor), sampled straight off the
+  // CSR row — the draw order (senders ascending, row order within a sender)
+  // is the noise stream's replay contract.
   for (std::size_t i = 0; i < senders.size(); ++i) {
-    for (NodeId v : view.net->unreliable_out(senders[i])) {
-      if (rng_.bernoulli(p_)) out[i].extra.push_back(v);
+    for (const NodeId v : view.unreliable->row(senders[i])) {
+      if (rng_.bernoulli(p_)) sink.add(i, v);
     }
   }
-  return out;
 }
 
 Reception BernoulliAdversary::resolve_cr4(const AdversaryView& view,
@@ -72,9 +72,10 @@ std::vector<ProcessId> FixedAssignmentAdversary::assign_processes(
   return process_of_node_;
 }
 
-std::vector<ReachChoice> FixedAssignmentAdversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
-  return inner_.choose_unreliable_reach(view, senders);
+void FixedAssignmentAdversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
+  inner_.choose_unreliable_reach(view, senders, sink);
 }
 
 Reception FixedAssignmentAdversary::resolve_cr4(
@@ -85,6 +86,10 @@ Reception FixedAssignmentAdversary::resolve_cr4(
 
 void FixedAssignmentAdversary::on_execution_start(const DualGraph& net) {
   inner_.on_execution_start(net);
+}
+
+void FixedAssignmentAdversary::on_round_end(const AdversaryView& view) {
+  inner_.on_round_end(view);
 }
 
 }  // namespace dualrad

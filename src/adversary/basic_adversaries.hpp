@@ -13,7 +13,8 @@
 ///
 /// All are legal adversaries of the model; none is worst-case. They bracket
 /// the space the greedy blocker (greedy_blocker.hpp) and the proof-exact
-/// lower-bound adversaries live in.
+/// lower-bound adversaries live in. All write their choices through the
+/// sparse batch `ReachSink` API and allocate nothing per round.
 
 namespace dualrad {
 
@@ -29,8 +30,9 @@ class FullInterferenceAdversary : public Adversary {
   explicit FullInterferenceAdversary(bool deliver_on_cr4 = false)
       : deliver_on_cr4_(deliver_on_cr4) {}
 
-  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override;
 
   [[nodiscard]] Reception resolve_cr4(
       const AdversaryView& view, NodeId node,
@@ -53,8 +55,9 @@ class BernoulliAdversary : public Adversary {
   BernoulliAdversary(double p, std::uint64_t seed,
                      bool reset_each_execution = true);
 
-  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override;
 
   [[nodiscard]] Reception resolve_cr4(
       const AdversaryView& view, NodeId node,
@@ -78,12 +81,14 @@ class FixedAssignmentAdversary : public Adversary {
 
   [[nodiscard]] std::vector<ProcessId> assign_processes(
       const DualGraph& net) override;
-  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override;
   [[nodiscard]] Reception resolve_cr4(
       const AdversaryView& view, NodeId node,
       const std::vector<Message>& arrivals) override;
   void on_execution_start(const DualGraph& net) override;
+  void on_round_end(const AdversaryView& view) override;
 
  private:
   std::vector<ProcessId> process_of_node_;

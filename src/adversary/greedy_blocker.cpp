@@ -2,46 +2,57 @@
 
 namespace dualrad {
 
-std::vector<ReachChoice> GreedyBlockerAdversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
-  const DualGraph& net = *view.net;
-  const NodeFlags& covered = *view.covered;
-  const auto n = static_cast<std::size_t>(net.node_count());
+void GreedyBlockerAdversary::on_execution_start(const DualGraph& net) {
+  // Size the stamped scratch once; epoch 0 means "stale everywhere".
+  slots_.assign(static_cast<std::size_t>(net.node_count()), Slot{});
+  epoch_ = 0;
+}
 
-  // Reliable arrival counts at every node (sender self-arrivals included:
-  // they matter for CR1 at sender nodes, but senders are not blocking
-  // targets below, so count only edge deliveries plus self).
-  std::vector<int> reliable_arrivals(n, 0);
-  std::vector<bool> is_sender(n, false);
-  for (NodeId u : senders) {
-    is_sender[static_cast<std::size_t>(u)] = true;
-    ++reliable_arrivals[static_cast<std::size_t>(u)];  // own message
-    for (NodeId v : net.g_csr().row(u)) {
-      ++reliable_arrivals[static_cast<std::size_t>(v)];
+void GreedyBlockerAdversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
+  if (senders.size() < 2) return;  // a lone sender cannot be jammed
+  const NodeFlags& covered = *view.covered;
+  // Harnesses may drive the blocker without an execution around it.
+  if (slots_.size() != covered.size()) {
+    slots_.assign(covered.size(), Slot{});
+    epoch_ = 0;
+  }
+  ++epoch_;
+  const auto touch = [&](NodeId v) -> Slot& {
+    Slot& s = slot_at(v);
+    if (s.epoch != epoch_) {
+      s = Slot{};
+      s.epoch = epoch_;
     }
+    return s;
+  };
+
+  // Pass 1 — reliable arrival counts on the boundary (sender self-arrivals
+  // included: they matter for CR1 at sender nodes, but senders are not
+  // blocking targets below, so count only edge deliveries plus self).
+  for (const NodeId u : senders) {
+    Slot& su = touch(u);
+    su.is_sender = 1;
+    ++su.reliable_arrivals;
+    for (const NodeId v : view.g->row(u)) ++touch(v).reliable_arrivals;
   }
 
-  std::vector<ReachChoice> out(senders.size());
-  if (senders.size() < 2) return out;  // a lone sender cannot be jammed
-
-  // For each uncovered non-sender about to hear exactly one message, find a
-  // second sender with an unreliable edge to it. Iterate senders' unreliable
-  // adjacency (cheaper than per-target scans on sparse G').
-  std::vector<int> planned_extra(n, 0);
+  // Pass 2 — for each uncovered non-sender about to hear exactly one
+  // message, find a second sender with an unreliable edge to it. Iterate
+  // senders' unreliable adjacency (cheaper than per-target scans on sparse
+  // G'); one extra message suffices, so each target is jammed once.
   for (std::size_t i = 0; i < senders.size(); ++i) {
-    const NodeId u = senders[i];
-    for (NodeId v : net.unreliable_out(u)) {
-      const auto uv = static_cast<std::size_t>(v);
-      if (covered[uv] || is_sender[uv]) continue;
-      // Fire u->v iff v currently expects exactly one message and no other
-      // jammer has been assigned yet (one extra message suffices).
-      if (reliable_arrivals[uv] == 1 && planned_extra[uv] == 0) {
-        out[i].extra.push_back(v);
-        planned_extra[uv] = 1;
+    for (const NodeId v : view.unreliable->row(senders[i])) {
+      if (covered[static_cast<std::size_t>(v)]) continue;
+      Slot& sv = touch(v);
+      if (sv.is_sender || sv.jammed) continue;
+      if (sv.reliable_arrivals == 1) {
+        sink.add(i, v);
+        sv.jammed = 1;
       }
     }
   }
-  return out;
 }
 
 Reception GreedyBlockerAdversary::resolve_cr4(

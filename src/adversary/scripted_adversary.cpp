@@ -11,18 +11,17 @@ std::vector<ProcessId> ScriptedAdversary::assign_processes(
   return script_.process_of_node;
 }
 
-std::vector<ReachChoice> ScriptedAdversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
-  std::vector<ReachChoice> out(senders.size());
+void ScriptedAdversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
   const auto r = static_cast<std::size_t>(view.round - 1);
-  if (r >= script_.reach.size()) return out;
+  if (r >= script_.reach.size()) return;
   const auto& plan = script_.reach[r];
   for (std::size_t i = 0; i < senders.size(); ++i) {
     if (const auto it = plan.find(senders[i]); it != plan.end()) {
-      out[i].extra = it->second;
+      sink.add_span(i, it->second);
     }
   }
-  return out;
 }
 
 Reception ScriptedAdversary::resolve_cr4(const AdversaryView& view,

@@ -32,8 +32,9 @@ class ScriptedAdversary : public Adversary {
   [[nodiscard]] std::vector<ProcessId> assign_processes(
       const DualGraph& net) override;
 
-  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override;
 
   [[nodiscard]] Reception resolve_cr4(
       const AdversaryView& view, NodeId node,

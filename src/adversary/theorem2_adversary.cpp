@@ -2,31 +2,27 @@
 
 namespace dualrad {
 
-std::vector<ReachChoice> Theorem2Adversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
-  const DualGraph& net = *view.net;
-  std::vector<ReachChoice> out(senders.size());
-  if (senders.empty()) return out;
+void Theorem2Adversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
+  if (senders.empty()) return;
 
   if (senders.size() >= 2) {
     // Rule 1: every message reaches everyone.
     for (std::size_t i = 0; i < senders.size(); ++i) {
-      const auto extra = net.unreliable_out(senders[i]);
-      out[i].extra.assign(extra.begin(), extra.end());
+      sink.add_span(i, view.unreliable->row(senders[i]));
     }
-    return out;
+    return;
   }
 
   const NodeId u = senders.front();
   if (u == layout_.receiver) {
     // Rule 3 (receiver): reach everyone; its only reliable edge is to the
     // bridge, the rest are unreliable.
-    const auto extra = net.unreliable_out(u);
-    out.front().extra.assign(extra.begin(), extra.end());
+    sink.add_span(0, view.unreliable->row(u));
   }
   // Rule 3 (bridge): reliable edges already cover everyone; no extras.
   // Rule 2 (clique non-bridge): reliable edges cover exactly C; no extras.
-  return out;
 }
 
 std::vector<ProcessId> theorem2_assignment(NodeId n, ProcessId bridge_id) {

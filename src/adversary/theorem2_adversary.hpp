@@ -28,8 +28,9 @@ class Theorem2Adversary : public Adversary {
   explicit Theorem2Adversary(duals::BridgeNetworkLayout layout)
       : layout_(layout) {}
 
-  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override;
 
  private:
   duals::BridgeNetworkLayout layout_;

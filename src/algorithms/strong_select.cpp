@@ -89,6 +89,32 @@ Round StrongSelectSchedule::participation_start(Round token_round,
   return ((next + l - 1) / l) * l;
 }
 
+Round StrongSelectSchedule::next_family_send(int s, ProcessId id,
+                                             Round token_round, bool forever,
+                                             Round from) const {
+  DUALRAD_REQUIRE(from >= 1, "rounds are 1-based");
+  const std::vector<std::uint32_t>& mine = family(s).sets_containing(id);
+  if (mine.empty()) return kNever;
+  const Round l = ell(s);
+  const Round start = participation_start(token_round, s);
+  // slots_before(from - 1, s) is the 0-based index of the first family-s
+  // slot at a round >= from; participation clamps it to the window start.
+  Round j = std::max(slots_before(from - 1, s), start);
+  // Smallest j' >= j whose set (j' mod l) contains id, via the family's
+  // sorted membership index — wrap to the next cycle if needed.
+  const Round offset = j % l;
+  const auto it = std::lower_bound(mine.begin(), mine.end(),
+                                   static_cast<std::uint32_t>(offset));
+  const Round target = it != mine.end()
+                           ? j - offset + static_cast<Round>(*it)
+                           : j - offset + l + static_cast<Round>(mine.front());
+  if (!forever && target >= start + l) return kNever;  // window exhausted
+  // Map the slot index back to its round: slot j of family s lives in epoch
+  // j / 2^{s-1} at in-epoch position 2^{s-1} + (j mod 2^{s-1}).
+  const Round per_epoch = Round{1} << (s - 1);
+  return (target / per_epoch) * epoch_len_ + per_epoch + target % per_epoch;
+}
+
 Round StrongSelectSchedule::done_round_bound(Round token_round) const {
   Round done = token_round;
   for (int s = 1; s <= s_max_; ++s) {
@@ -128,6 +154,25 @@ class StrongSelectProcess final : public TokenProcess {
     return Action::transmit(Message{/*token=*/true, /*origin=*/id(),
                                     /*round_tag=*/round, /*payload=*/0});
   }
+
+  /// Exact hint: the minimum over families of the closed-form epoch walk
+  /// (next_family_send). No coin, no per-round scan — the whole schedule is
+  /// a pure function of (id, token round), so the engine's calendar can
+  /// jump straight to the next slot whose SSF set contains this id.
+  [[nodiscard]] Round next_send_round(Round from) const override {
+    if (!has_token()) return kNever;
+    from = std::max(from, token_round() + 1);
+    Round best = kNever;
+    for (int s = 1; s <= schedule_->s_max(); ++s) {
+      const Round r =
+          schedule_->next_family_send(s, id(), token_round(), forever_, from);
+      if (r != kNever && (best == kNever || r < best)) best = r;
+    }
+    return best;
+  }
+
+  /// State is the token round only; silence receptions are no-ops.
+  [[nodiscard]] bool silence_transparent() const override { return true; }
 
   [[nodiscard]] std::unique_ptr<Process> clone() const override {
     return std::make_unique<StrongSelectProcess>(*this);

@@ -71,6 +71,16 @@ class StrongSelectSchedule {
   /// round t has finished all families (used by termination tests).
   [[nodiscard]] Round done_round_bound(Round token_round) const;
 
+  /// Closed-form epoch walk: the first round >= `from` at which a process
+  /// with id `id` that received the token at `token_round` transmits in one
+  /// of family s's slots — respecting its participation window (one full
+  /// iteration starting at participation_start, or unbounded when `forever`)
+  /// — or kNever if that window is exhausted or no set of F_s contains id.
+  /// O(log |sets containing id|): a slot-index computation plus one binary
+  /// search in the family's membership index; no per-round scan.
+  [[nodiscard]] Round next_family_send(int s, ProcessId id, Round token_round,
+                                       bool forever, Round from) const;
+
  private:
   StrongSelectSchedule() = default;
 

@@ -317,25 +317,41 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       {"grayzone-100k", scale_grayzone(100'000), 1, true, false},
       {"grayzone-1m", scale_grayzone(1'000'000), 1, true, true},
   };
+  struct ScaleChannel {
+    const char* label;
+    AdversaryFactory adversary;
+    const char* blurb;
+    bool adversarial;
+  };
+  const ScaleChannel scale_channels[] = {
+      {"benign", benign(), " family over reliable links only", false},
+      {"bernoulli:0.1", bernoulli(0.1),
+       " family with stochastic unreliable links", false},
+      // The sparse frontier blocker (O(boundary) per round, no per-round
+      // allocations) is what makes a worst-case-shaped adversary viable at
+      // 10^5-10^6 nodes — the workload PR 4's ROADMAP flagged as blocked.
+      {"greedy", greedy(),
+       " family against the sparse greedy collision-blocker", true},
+  };
   for (const ScalePoint& point : scale_points) {
-    for (const bool noisy : {false, true}) {
+    for (const ScaleChannel& channel : scale_channels) {
       Scenario s;
-      s.name = std::string("scale/decay/") + point.label +
-               (noisy ? "/bernoulli:0.1" : "/benign");
+      s.name = std::string("scale/decay/") + point.label + "/" + channel.label;
       s.description = std::string("Engine-scaling workload: Decay on the "
                                   "sparse ") +
-                      point.label +
-                      (noisy ? " family with stochastic unreliable links"
-                             : " family over reliable links only");
+                      point.label + channel.blurb;
       s.tags = {"scale", "randomized"};
+      if (channel.adversarial) s.tags.push_back("adversarial");
       if (point.slow) s.tags.push_back("slow");
       if (point.huge) s.tags.push_back("1m");
       s.network = point.network;
       s.algorithm =
           decay_windowed(/*active_phases=*/2, /*rebroadcast_period=*/32);
-      s.adversary = noisy ? bernoulli(0.1) : benign();
+      s.adversary = channel.adversary;
       // CR3 (collisions are silent) is the classic no-collision-detection
-      // radio assumption and keeps the steady state adversary-callback-free.
+      // radio assumption and keeps the steady state adversary-callback-free
+      // under the benign/bernoulli channels; under greedy it means a jammed
+      // solo delivery is simply lost, the blocker's intended effect.
       s.rule = CollisionRule::CR3;
       s.max_rounds = 200'000;
       s.trials = point.trials;

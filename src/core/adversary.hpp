@@ -1,6 +1,7 @@
 #pragma once
 
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "core/message.hpp"
@@ -9,7 +10,7 @@
 #include "graph/dual_graph.hpp"
 
 /// \file adversary.hpp
-/// The adversary interface (Section 2.1).
+/// The adversary interface (Section 2.1), sparse batch edition.
 ///
 /// In general an adversary may choose (a) the proc mapping from nodes to
 /// processes, (b) for each sender and round, which G'-only out-neighbors the
@@ -19,6 +20,13 @@
 /// heavily restricted (they follow fixed rules from the proofs), while the
 /// benchmark adversaries use full knowledge, which only strengthens
 /// upper-bound experiments.
+///
+/// Choice (b) flows through a `ReachSink`: a flat, engine-owned append
+/// buffer of (sender slot, extra node) pairs laid out CSR-style per sender.
+/// The engines hand the same sink to the adversary every round (capacity is
+/// retained), so a round's adversary callback allocates nothing — the
+/// property that lets adversarial workloads run at 10^5-10^6 nodes, where
+/// the old per-round vector-of-vectors return value dominated the round.
 
 namespace dualrad {
 
@@ -28,24 +36,143 @@ namespace dualrad {
 /// std::vector<bool>'s packed words.
 using NodeFlags = std::vector<std::uint8_t>;
 
+/// Flat CSR-style append buffer for the adversary's per-round unreliable
+/// deliveries: (sender slot, extra node) pairs, where *slot* indexes into
+/// the round's `senders` span. The engine calls `begin_round` / `seal` and
+/// reads rows back through `extras`; the adversary only appends, in
+/// nondecreasing slot order (the natural order of a sweep over `senders` —
+/// enforced, because the engines replay rows in slot order to keep delivery
+/// order bit-identical to the dense reference engine).
+///
+/// Rows are two flat arrays (offsets + nodes) with capacity retained across
+/// rounds, so steady-state appends are branch + store. Sinks over the same
+/// slot space are shard-mergeable: `merge_from` concatenates rows slot-wise
+/// (shard order = append order within a slot), which is what a future
+/// sharded adversary callback would reduce with.
+class ReachSink {
+ public:
+  /// Engine-side: reset for a round with `sender_count` slots. Keeps
+  /// capacity; O(1) plus amortized growth of the offsets array.
+  void begin_round(std::size_t sender_count) {
+    slot_count_ = sender_count;
+    offsets_.resize(sender_count + 1);
+    offsets_[0] = 0;
+    open_ = 0;
+    nodes_.clear();
+    sealed_ = false;
+  }
+
+  /// Adversary-side: senders[slot]'s message additionally reaches `extra`
+  /// (which must be a G'-only out-neighbor of that sender — validated by the
+  /// engines at delivery). Slots must be appended in nondecreasing order.
+  void add(std::size_t slot, NodeId extra) {
+    DUALRAD_CHECK(!sealed_, "ReachSink: add after seal");
+    DUALRAD_CHECK(slot < slot_count_, "ReachSink: sender slot out of range");
+    DUALRAD_CHECK(slot >= open_,
+                  "ReachSink: slots must be appended in nondecreasing order");
+    while (open_ < slot) offsets_[++open_] = nodes_.size();
+    nodes_.push_back(extra);
+  }
+
+  /// Append a whole span for one slot (e.g. an unreliable_out row).
+  void add_span(std::size_t slot, std::span<const NodeId> extras) {
+    if (extras.empty()) return;
+    add(slot, extras.front());
+    nodes_.insert(nodes_.end(), extras.begin() + 1, extras.end());
+  }
+
+  /// Engine-side: close all remaining rows. After sealing, `extras` is
+  /// readable and `add` is rejected until the next begin_round.
+  void seal() {
+    while (open_ < slot_count_) offsets_[++open_] = nodes_.size();
+    sealed_ = true;
+  }
+
+  [[nodiscard]] std::size_t slot_count() const { return slot_count_; }
+  /// Pairs appended this round.
+  [[nodiscard]] std::size_t total() const { return nodes_.size(); }
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+  /// Extras recorded for `slot`, in append order. Requires seal().
+  [[nodiscard]] std::span<const NodeId> extras(std::size_t slot) const {
+    DUALRAD_CHECK(sealed_, "ReachSink: extras before seal");
+    DUALRAD_CHECK(slot < slot_count_, "ReachSink: sender slot out of range");
+    return {nodes_.data() + offsets_[slot],
+            offsets_[slot + 1] - offsets_[slot]};
+  }
+
+  /// Slot-wise concatenation of another sealed sink over the same slot
+  /// space: row(slot) becomes this->extras(slot) ++ other.extras(slot).
+  /// This is the deterministic shard merge (merge in shard order).
+  /// Rebuilds the flat arrays, so spans previously returned by extras()
+  /// are invalidated.
+  void merge_from(const ReachSink& other) {
+    DUALRAD_CHECK(&other != this, "ReachSink: cannot merge a sink into itself");
+    DUALRAD_CHECK(sealed_ && other.sealed_,
+                  "ReachSink: merge requires sealed sinks");
+    DUALRAD_CHECK(slot_count_ == other.slot_count_,
+                  "ReachSink: merge requires equal slot counts");
+    if (other.nodes_.empty()) return;
+    std::vector<NodeId> merged;
+    merged.reserve(nodes_.size() + other.nodes_.size());
+    std::vector<std::size_t> offsets(slot_count_ + 1, 0);
+    for (std::size_t s = 0; s < slot_count_; ++s) {
+      const auto a = extras(s);
+      const auto b = other.extras(s);
+      merged.insert(merged.end(), a.begin(), a.end());
+      merged.insert(merged.end(), b.begin(), b.end());
+      offsets[s + 1] = merged.size();
+    }
+    nodes_ = std::move(merged);
+    offsets_ = std::move(offsets);
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< size slot_count_ + 1 once sealed
+  std::vector<NodeId> nodes_;
+  std::size_t slot_count_ = 0;
+  std::size_t open_ = 0;  ///< highest slot whose row start is recorded
+  bool sealed_ = true;
+};
+
 /// Read-only view of execution state offered to adversaries. Worst-case
 /// adversaries may use all of it; restricted adversaries ignore most fields.
+///
+/// The frozen CSR snapshots (`g`, `g_prime`, `unreliable`) are the same
+/// objects as net->g_csr() etc., hoisted so per-round adversary code walks
+/// flat span rows with no DualGraph indirection. `newly_covered` is the
+/// *delta* of the dense `covered` array: the nodes whose covered flag rose
+/// during the previous round's deliveries (for round 1, the environment's
+/// token sources), ascending — stateful adversaries track coverage in
+/// O(|delta|) per round instead of rescanning O(n) flags.
 struct AdversaryView {
   const DualGraph* net = nullptr;
+  const CsrGraph* g = nullptr;
+  const CsrGraph* g_prime = nullptr;
+  const CsrGraph* unreliable = nullptr;
   /// node -> process id (the proc mapping currently in force).
   const std::vector<ProcessId>* process_of_node = nullptr;
   /// node -> whether the process there already holds at least one broadcast
   /// token (state *before* this round's deliveries). In the single-message
   /// problem this is exactly "holds the broadcast token".
   const NodeFlags* covered = nullptr;
+  /// Nodes first covered by the previous round's deliveries, ascending.
+  std::span<const NodeId> newly_covered{};
   Round round = 0;
-};
 
-/// One sender's outgoing delivery choice for a round.
-struct ReachChoice {
-  /// Subset of the sender's G'-only out-neighbors additionally reached.
-  /// (G-out-neighbors are always reached and must not be listed here.)
-  std::vector<NodeId> extra{};
+  [[nodiscard]] static AdversaryView of(
+      const DualGraph& net, const std::vector<ProcessId>& process_of_node,
+      const NodeFlags& covered, std::span<const NodeId> newly_covered,
+      Round round) {
+    return AdversaryView{&net,
+                         &net.g_csr(),
+                         &net.g_prime_csr(),
+                         &net.unreliable_csr(),
+                         &process_of_node,
+                         &covered,
+                         newly_covered,
+                         round};
+  }
 };
 
 class Adversary {
@@ -61,13 +188,20 @@ class Adversary {
     return ids;
   }
 
-  /// For each sending node (senders[i]), choose the G'-only out-neighbors its
-  /// message additionally reaches this round. Returned vector must be
-  /// parallel to `senders`. Default: no unreliable edge fires.
-  [[nodiscard]] virtual std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) {
+  /// For each sending node (senders[i], ascending), append the G'-only
+  /// out-neighbors its message additionally reaches this round as
+  /// (slot = i, extra) pairs into `sink` (begin_round already called; the
+  /// engine seals). Appends must be in nondecreasing slot order and only
+  /// name G'-only out-neighbors of the slot's sender; the engines validate
+  /// edge legality at delivery, and the conformance suite
+  /// (tests/test_adversary_api.cpp) additionally pins no-duplicate rows for
+  /// every shipped adversary. Default: no unreliable edge fires.
+  virtual void choose_unreliable_reach(const AdversaryView& view,
+                                       std::span<const NodeId> senders,
+                                       ReachSink& sink) {
     (void)view;
-    return std::vector<ReachChoice>(senders.size());
+    (void)senders;
+    (void)sink;
   }
 
   /// CR4 only: node `node` (which did not send) is reached by >= 2 messages;
@@ -85,6 +219,14 @@ class Adversary {
   /// Called once at the start of each execution, so stateful adversaries can
   /// reset. Default: no-op.
   virtual void on_execution_start(const DualGraph& net) { (void)net; }
+
+  /// Called once after each round's deliveries, with view.round = the round
+  /// that just finished and view.newly_covered = the nodes that round's
+  /// deliveries first covered (view.covered already includes them). Both
+  /// engines invoke it identically (after CR4 resolutions, before the next
+  /// round's poll), so stateful adversaries may advance incremental state
+  /// here without perturbing bit-identical replay. Default: no-op.
+  virtual void on_round_end(const AdversaryView& view) { (void)view; }
 };
 
 }  // namespace dualrad

@@ -70,6 +70,11 @@ SimResult run_broadcast_reference(const DualGraph& net,
   NodeFlags covered(un, 0);
   std::vector<bool> holds(k * un, false);
   result.token_first.assign(k, std::vector<Round>(un, kNever));
+  // covered_delta: nodes first covered by the previous round's deliveries
+  // (the AdversaryView::newly_covered span), ascending; next_delta collects
+  // the running round's additions.
+  std::vector<NodeId> covered_delta;
+  std::vector<NodeId> next_delta;
 
   // Environment input: each token arrives at its source process prior to
   // round 1 (Section 3).
@@ -85,7 +90,9 @@ SimResult run_broadcast_reference(const DualGraph& net,
     ++held_count;
     proc_at[src]->on_activate(0, env_msg);
     awake[src] = true;
+    covered_delta.push_back(sources[t]);
   }
+  std::sort(covered_delta.begin(), covered_delta.end());
   if (config.start == StartRule::Synchronous) {
     for (NodeId v = 0; v < n; ++v) {
       const auto uv = static_cast<std::size_t>(v);
@@ -104,12 +111,14 @@ SimResult run_broadcast_reference(const DualGraph& net,
     result.trace.ring_collisions.assign(config.trace_window, 0);
   }
 
-  // Reusable per-round buffers.
+  // Reusable per-round buffers. The ReachSink is handed to the adversary
+  // every round with capacity retained — no per-round reach allocations.
   std::vector<NodeId> senders;
   std::vector<Message> sent_msg(un);
   std::vector<bool> is_sender(un, false);
   std::vector<std::vector<Message>> arrivals(un);
   std::vector<Reception> receptions(un);
+  ReachSink sink;
 
   const std::size_t all_held = k * un;
 
@@ -136,11 +145,11 @@ SimResult run_broadcast_reference(const DualGraph& net,
     result.total_sends += senders.size();
 
     // Adversary chooses which unreliable links fire.
-    AdversaryView view{&net, &result.process_of_node, &covered, round};
-    std::vector<ReachChoice> reach =
-        adversary.choose_unreliable_reach(view, senders);
-    DUALRAD_CHECK(reach.size() == senders.size(),
-                  "adversary returned wrong number of reach choices");
+    AdversaryView view = AdversaryView::of(net, result.process_of_node,
+                                           covered, covered_delta, round);
+    sink.begin_round(senders.size());
+    adversary.choose_unreliable_reach(view, senders, sink);
+    sink.seal();
 
     RoundRecord record;
     const bool full_trace = config.trace == TraceLevel::Full;
@@ -161,7 +170,7 @@ SimResult run_broadcast_reference(const DualGraph& net,
         arrivals[static_cast<std::size_t>(v)].push_back(m);
         if (full_trace) srec.reached.push_back(v);
       }
-      for (NodeId v : reach[i].extra) {
+      for (NodeId v : sink.extras(i)) {
         DUALRAD_CHECK(gp.has_edge(u, v) && !g.has_edge(u, v),
                       "adversary chose a non-G'-only edge");
         arrivals[static_cast<std::size_t>(v)].push_back(m);
@@ -232,7 +241,10 @@ SimResult run_broadcast_reference(const DualGraph& net,
       }
       if (rec.has_token()) {
         const auto t = static_cast<std::size_t>(rec.message->token - 1);
-        covered[uv] = 1;
+        if (!covered[uv]) {
+          covered[uv] = 1;
+          next_delta.push_back(v);  // node scan is ascending
+        }
         if (!holds[t * un + uv]) {
           holds[t * un + uv] = true;
           result.token_first[t][uv] = round;
@@ -240,6 +252,13 @@ SimResult run_broadcast_reference(const DualGraph& net,
         }
       }
     }
+
+    // Round epilogue for stateful adversaries: this round's coverage delta,
+    // with the covered flags already advanced.
+    covered_delta.swap(next_delta);
+    next_delta.clear();
+    view.newly_covered = covered_delta;
+    adversary.on_round_end(view);
 
     if (config.trace == TraceLevel::Counts || full_trace) {
       result.trace.senders_per_round.push_back(

@@ -55,11 +55,12 @@ namespace dualrad {
 ///    does not change results, so the cutoff is pure scheduling).
 ///
 /// Everything observable — process call sequences modulo elided silent
-/// no-ops, adversary call order (senders ascending; CR4 resolutions in
-/// ascending node order, exactly the reference's node scan), RNG streams,
-/// SimResult including full traces — is bit-identical to the reference
-/// engine; tests/test_engine_equivalence.cpp enforces this across random
-/// small executions and the whole builtin campaign grid.
+/// no-ops, adversary call order (one sealed ReachSink batch per round with
+/// senders ascending; CR4 resolutions in ascending node order, exactly the
+/// reference's node scan; on_round_end with the round's ascending coverage
+/// delta), RNG streams, SimResult including full traces — is bit-identical
+/// to the reference engine; tests/test_engine_equivalence.cpp enforces this
+/// across random small executions and the whole builtin campaign grid.
 
 namespace {
 
@@ -291,6 +292,11 @@ SimResult Simulator::run() {
   NodeFlags covered(un, 0);
   NodeFlags holds(k * un, 0);
   result.token_first.assign(k, std::vector<Round>(un, kNever));
+  // covered_delta: nodes first covered by the previous round's deliveries
+  // (the AdversaryView::newly_covered span), ascending; next_delta collects
+  // the running round's additions from the shard merge.
+  std::vector<NodeId> covered_delta;
+  std::vector<NodeId> next_delta;
 
   // Scheduling state. `transparent[v]` caches silence_transparent() of the
   // process at v (queried at activation); non-transparent awake nodes are
@@ -320,7 +326,9 @@ SimResult Simulator::run() {
     ++held_count;
     proc_at[src]->on_activate(0, env_msg);
     activate_bookkeeping(sources[t], 0);
+    covered_delta.push_back(sources[t]);
   }
+  std::sort(covered_delta.begin(), covered_delta.end());
   if (config_.start == StartRule::Synchronous) {
     for (NodeId v = 0; v < n; ++v) {
       if (awake[static_cast<std::size_t>(v)]) continue;
@@ -356,6 +364,7 @@ SimResult Simulator::run() {
     std::vector<NodeId> touched;   // nodes with >= 1 arrival this round
     std::vector<NodeId> collided;  // nodes with >= 2 arrivals this round
     std::vector<NodeId> activated_noisy;  // woke up, not silence-transparent
+    std::vector<NodeId> newly_covered;    // covered flag rose this round
     std::vector<std::pair<NodeId, Round>> plans;  // deferred calendar.plan
     std::size_t held_delta = 0;
   };
@@ -366,9 +375,11 @@ SimResult Simulator::run() {
     return static_cast<NodeId>(static_cast<std::uint64_t>(un) * w / active);
   };
 
-  // Reusable per-round buffers.
+  // Reusable per-round buffers. The ReachSink is handed to the adversary
+  // every round with capacity retained — no per-round reach allocations.
   std::vector<NodeId> due;            // calendar pops, this round
   std::vector<NodeId> senders;        // ascending, as the reference produces
+  ReachSink sink;
   std::vector<Message> sent_msg(un);
   NodeFlags is_sender(un, 0);
   // Arrival slot per node: `mark` packs (round << 2) | count with count
@@ -425,12 +436,12 @@ SimResult Simulator::run() {
     result.total_sends += senders.size();
 
     // Adversary chooses which unreliable links fire.
-    AdversaryView view{&net_, &result.process_of_node, &covered, round};
-    std::vector<ReachChoice> reach =
-        adversary_.choose_unreliable_reach(view, senders);
-    DUALRAD_CHECK(reach.size() == senders.size(),
-                  "adversary returned wrong number of reach choices");
-    for (const ReachChoice& choice : reach) deposit_work += choice.extra.size();
+    AdversaryView view = AdversaryView::of(net_, result.process_of_node,
+                                           covered, covered_delta, round);
+    sink.begin_round(senders.size());
+    adversary_.choose_unreliable_reach(view, senders, sink);
+    sink.seal();
+    deposit_work += sink.total();
 
     RoundRecord record;
     if (full_trace) record.round = round;
@@ -442,6 +453,7 @@ SimResult Simulator::run() {
       shard[w].touched.clear();
       shard[w].collided.clear();
       shard[w].activated_noisy.clear();
+      shard[w].newly_covered.clear();
       shard[w].plans.clear();
       shard[w].held_delta = 0;
     }
@@ -484,7 +496,7 @@ SimResult Simulator::run() {
         for (const NodeId v : csr_g.row(u)) {
           if (v >= lo && v < hi) deposit(v, u);
         }
-        for (const NodeId v : reach[i].extra) {
+        for (const NodeId v : sink.extras(i)) {
           if (w == 0 && (v < 0 || v >= n)) {
             DUALRAD_CHECK(false, "adversary chose a non-G'-only edge");
           }
@@ -508,9 +520,9 @@ SimResult Simulator::run() {
         srec.node = u;
         srec.message = sent_msg[static_cast<std::size_t>(u)];
         const auto row = csr_g.row(u);
+        const auto extras = sink.extras(i);
         srec.reached.assign(row.begin(), row.end());
-        srec.reached.insert(srec.reached.end(), reach[i].extra.begin(),
-                            reach[i].extra.end());
+        srec.reached.insert(srec.reached.end(), extras.begin(), extras.end());
         record.senders.push_back(std::move(srec));
       }
     }
@@ -614,7 +626,10 @@ SimResult Simulator::run() {
         }
         if (rec.has_token()) {
           const auto t = static_cast<std::size_t>(rec.message->token - 1);
-          covered[uv] = 1;
+          if (!covered[uv]) {
+            covered[uv] = 1;
+            s.newly_covered.push_back(v);
+          }
           if (!holds[t * un + uv]) {
             holds[t * un + uv] = 1;
             result.token_first[t][uv] = round;
@@ -648,9 +663,20 @@ SimResult Simulator::run() {
       const ShardState& s = shard[w];
       noisy.insert(noisy.end(), s.activated_noisy.begin(),
                    s.activated_noisy.end());
+      next_delta.insert(next_delta.end(), s.newly_covered.begin(),
+                        s.newly_covered.end());
       for (const auto& [v, r] : s.plans) calendar.plan(v, r, round);
       held_count += s.held_delta;
     }
+
+    // Round epilogue for stateful adversaries: this round's coverage delta,
+    // ascending (shard ranges are ascending but intra-shard order is deposit
+    // order, so sort — the reference engine's node scan is the contract).
+    std::sort(next_delta.begin(), next_delta.end());
+    covered_delta.swap(next_delta);
+    next_delta.clear();
+    view.newly_covered = covered_delta;
+    adversary_.on_round_end(view);
 
     if (counted_trace) {
       result.trace.senders_per_round.push_back(

@@ -97,10 +97,20 @@ bool operator==(const Graph& a, const Graph& b) {
   return sorted_keys(a) == sorted_keys(b);
 }
 
+void CsrGraph::require_edges_fit(std::size_t edge_count) {
+  if (edge_count > kMaxEdges) {
+    throw std::invalid_argument(
+        "dualrad: cannot freeze a CSR snapshot with " +
+        std::to_string(edge_count) + " edges: 32-bit row offsets address at "
+        "most " + std::to_string(kMaxEdges) +
+        " edges; this build needs the 64-bit-offset CSR before scaling "
+        "further");
+  }
+}
+
 CsrGraph::CsrGraph(const Graph& g) {
   const auto n = static_cast<std::size_t>(g.node_count());
-  DUALRAD_REQUIRE(g.edge_count() < (std::uint64_t{1} << 32),
-                  "CSR snapshot supports < 2^32 edges");
+  require_edges_fit(g.edge_count());
   offsets_.resize(n + 1, 0);
   targets_.reserve(g.edge_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
@@ -204,8 +214,7 @@ CsrGraph CsrGraphBuilder::freeze() {
   // groups the rows and orders each row ascending; dedup is then adjacent.
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-  DUALRAD_REQUIRE(edges_.size() < (std::uint64_t{1} << 32),
-                  "CSR snapshot supports < 2^32 edges");
+  CsrGraph::require_edges_fit(edges_.size());
 
   std::vector<std::uint32_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
   std::vector<NodeId> targets;

@@ -121,6 +121,18 @@ class Graph {
 /// directly and the sorted copy (and its ~4 bytes/edge) is not allocated.
 class CsrGraph {
  public:
+  /// Largest edge count a snapshot can hold: offsets are 32-bit, so one
+  /// more edge would wrap them. Every freeze path (Graph snapshot,
+  /// CsrGraphBuilder::freeze) funnels through require_edges_fit, which
+  /// throws a clear error instead of silently truncating — the 10^7-node
+  /// grid will need 64-bit offsets (ROADMAP), not a wrap.
+  static constexpr std::size_t kMaxEdges =
+      static_cast<std::size_t>((std::uint64_t{1} << 32) - 1);
+
+  /// Throws std::invalid_argument when `edge_count` cannot be addressed by
+  /// the 32-bit CSR offset type.
+  static void require_edges_fit(std::size_t edge_count);
+
   CsrGraph() = default;
   explicit CsrGraph(const Graph& g);
 

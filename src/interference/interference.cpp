@@ -192,8 +192,9 @@ InterferenceSimAdversary::InterferenceSimAdversary(
     const InterferenceNetwork& net, CollisionRule rule)
     : inet_(net), rule_(rule) {}
 
-std::vector<ReachChoice> InterferenceSimAdversary::choose_unreliable_reach(
-    const AdversaryView& view, const std::vector<NodeId>& senders) {
+void InterferenceSimAdversary::choose_unreliable_reach(
+    const AdversaryView& view, std::span<const NodeId> senders,
+    ReachSink& sink) {
   (void)view;
   const NodeId n = inet_.node_count();
   const auto un = static_cast<std::size_t>(n);
@@ -242,7 +243,6 @@ std::vector<ReachChoice> InterferenceSimAdversary::choose_unreliable_reach(
   // graph, and therefore also in the dual graph") assumes exactly this
   // behavior; firing on arrival_count >= 2 realizes it and is verified
   // round-by-round by the Lemma1Equivalence tests.
-  std::vector<ReachChoice> out(senders.size());
   for (std::size_t i = 0; i < senders.size(); ++i) {
     const NodeId v = senders[i];  // condition (3): v sends
     for (NodeId u : inet_.gi().out_neighbors(v)) {
@@ -250,10 +250,9 @@ std::vector<ReachChoice> InterferenceSimAdversary::choose_unreliable_reach(
       if (inet_.gt().has_edge(v, u)) continue;   // only G_I-only edges
       if (arrival_count[uu] < 2) continue;       // condition (1), see above
       if (receives[uu]) continue;                // condition (2)
-      out[i].extra.push_back(u);
+      sink.add(i, u);
     }
   }
-  return out;
 }
 
 }  // namespace dualrad

@@ -83,8 +83,9 @@ class InterferenceSimAdversary : public Adversary {
  public:
   InterferenceSimAdversary(const InterferenceNetwork& net, CollisionRule rule);
 
-  [[nodiscard]] std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override;
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override;
 
  private:
   const InterferenceNetwork& inet_;

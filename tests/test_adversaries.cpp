@@ -19,7 +19,25 @@ using testing::scripted_factory;
 AdversaryView make_view(const DualGraph& net,
                         const std::vector<ProcessId>& mapping,
                         const NodeFlags& covered, Round round) {
-  return AdversaryView{&net, &mapping, &covered, round};
+  return AdversaryView::of(net, mapping, covered, {}, round);
+}
+
+/// Drive one choose_unreliable_reach call through a fresh ReachSink and
+/// return the per-sender rows (the old vector-of-vectors shape, for easy
+/// assertions).
+std::vector<std::vector<NodeId>> collect_reach(
+    Adversary& adversary, const AdversaryView& view,
+    const std::vector<NodeId>& senders) {
+  ReachSink sink;
+  sink.begin_round(senders.size());
+  adversary.choose_unreliable_reach(view, senders, sink);
+  sink.seal();
+  std::vector<std::vector<NodeId>> out(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    const auto row = sink.extras(i);
+    out[i].assign(row.begin(), row.end());
+  }
+  return out;
 }
 
 // --------------------------------------------------------------- Bernoulli
@@ -33,10 +51,10 @@ TEST(Bernoulli, FiresSubsetOfUnreliableEdges) {
   NodeFlags covered(10, 0);
   const auto view = make_view(net, mapping, covered, 1);
   const std::vector<NodeId> senders = {2, 3};
-  const auto reach = adversary.choose_unreliable_reach(view, senders);
+  const auto reach = collect_reach(adversary, view, senders);
   ASSERT_EQ(reach.size(), 2u);
   for (std::size_t i = 0; i < senders.size(); ++i) {
-    for (NodeId v : reach[i].extra) {
+    for (NodeId v : reach[i]) {
       EXPECT_TRUE(net.g_prime().has_edge(senders[i], v));
       EXPECT_FALSE(net.g().has_edge(senders[i], v));
     }
@@ -84,12 +102,11 @@ TEST(GreedyBlocker, JamsSoloDeliveryToUncoveredNode) {
   std::vector<ProcessId> mapping = {0, 1, 2};
   NodeFlags covered = {1, 1, 0};
   const auto view = make_view(net, mapping, covered, 5);
-  const auto reach =
-      adversary.choose_unreliable_reach(view, {0, 1});
+  const auto reach = collect_reach(adversary, view, {0, 1});
   ASSERT_EQ(reach.size(), 2u);
-  ASSERT_EQ(reach[0].extra.size(), 1u);  // 0 jams node 2
-  EXPECT_EQ(reach[0].extra.front(), 2);
-  EXPECT_TRUE(reach[1].extra.empty());
+  ASSERT_EQ(reach[0].size(), 1u);  // 0 jams node 2
+  EXPECT_EQ(reach[0].front(), 2);
+  EXPECT_TRUE(reach[1].empty());
 }
 
 TEST(GreedyBlocker, LeavesCoveredNodesAlone) {
@@ -101,9 +118,9 @@ TEST(GreedyBlocker, LeavesCoveredNodesAlone) {
   std::vector<ProcessId> mapping = {0, 1, 2};
   NodeFlags covered = {1, 1, 1};
   const auto view = make_view(net, mapping, covered, 5);
-  const auto reach = adversary.choose_unreliable_reach(view, {0, 1});
-  EXPECT_TRUE(reach[0].extra.empty());
-  EXPECT_TRUE(reach[1].extra.empty());
+  const auto reach = collect_reach(adversary, view, {0, 1});
+  EXPECT_TRUE(reach[0].empty());
+  EXPECT_TRUE(reach[1].empty());
 }
 
 TEST(GreedyBlocker, CannotJamLoneSender) {
@@ -115,8 +132,8 @@ TEST(GreedyBlocker, CannotJamLoneSender) {
   std::vector<ProcessId> mapping = {0, 1, 2};
   NodeFlags covered = {1, 1, 0};
   const auto view = make_view(net, mapping, covered, 5);
-  const auto reach = adversary.choose_unreliable_reach(view, {1});
-  EXPECT_TRUE(reach[0].extra.empty());  // progress is unavoidable
+  const auto reach = collect_reach(adversary, view, {1});
+  EXPECT_TRUE(reach[0].empty());  // progress is unavoidable
 }
 
 TEST(GreedyBlocker, DelaysBroadcastRelativeToBenign) {
@@ -310,11 +327,10 @@ TEST(AdversaryLegality, SimulatorRejectsIllegalReach) {
   // caught by the engine's validation.
   class Cheater : public Adversary {
    public:
-    std::vector<ReachChoice> choose_unreliable_reach(
-        const AdversaryView&, const std::vector<NodeId>& senders) override {
-      std::vector<ReachChoice> out(senders.size());
-      if (!senders.empty()) out[0].extra = {1};  // 0-1 is reliable
-      return out;
+    void choose_unreliable_reach(const AdversaryView&,
+                                 std::span<const NodeId> senders,
+                                 ReachSink& sink) override {
+      if (!senders.empty()) sink.add(0, 1);  // 0-1 is reliable
     }
   };
   Graph g = gen::path(3);

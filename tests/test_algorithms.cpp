@@ -428,7 +428,9 @@ void expect_silence_transparent(const Process& proc, Round at, Round window,
     const Action a = proc.next_action(r);
     const Action b = muted->next_action(r);
     EXPECT_EQ(a.send, b.send) << label << " round " << r;
-    if (a.send && b.send) EXPECT_EQ(a.message, b.message) << label;
+    if (a.send && b.send) {
+      EXPECT_EQ(a.message, b.message) << label;
+    }
   }
   EXPECT_EQ(proc.next_send_round(at + 1), muted->next_send_round(at + 1))
       << label;
@@ -508,12 +510,88 @@ TEST(SchedulingHints, SoundForEveryAlgorithmOverRandomHistories) {
        make_decay_factory(n, {.active_phases = 2, .rebroadcast_period = 8})},
       {"decay-windowed-final",
        make_decay_factory(n, {.active_phases = 1, .rebroadcast_period = 0})},
-      {"strong-select", make_strong_select_factory(n)},  // default hint
-      {"gossip", make_uniform_gossip_factory(n)},        // default hint
+      {"strong-select", make_strong_select_factory(n)},
+      {"strong-select-forever",
+       make_strong_select_factory(n, {.participate_forever = true})},
+      {"gossip", make_uniform_gossip_factory(n)},
+      {"gossip-dense", make_uniform_gossip_factory(n, {.p = 0.35})},
   };
   std::uint64_t seed = 0x9E55;
   for (const auto& [name, factory] : factories) {
     check_hint_soundness(name, factory, n, seed++);
+  }
+}
+
+TEST(SchedulingHints, GossipHintScanIsCapped) {
+  // A vanishing p must not make one hint call scan ~1/p coins: after the
+  // cap the hint conservatively names the first unscanned round (legal —
+  // the engine re-asks there) instead of hunting for the exact hit.
+  const auto factory = make_uniform_gossip_factory(8, {.p = 1e-9});
+  const auto proc = factory(3, 8, 99);
+  proc->on_activate(0, Message{/*token=*/true, /*origin=*/0,
+                               /*round_tag=*/0, /*payload=*/1});
+  const Round hint = proc->next_send_round(1);
+  ASSERT_GE(hint, 1);
+  EXPECT_LE(hint, 5000);  // one chunk, not a ~10^9 scan
+  // Soundness of the capped answer: every skipped round is truly silent.
+  for (Round r = 1; r < hint; r += 997) {
+    EXPECT_FALSE(proc->next_action(r).send) << r;
+  }
+}
+
+TEST(SchedulingHints, StrongSelectEpochWalkIsExact) {
+  // The strong-select hint is a closed-form epoch walk, so beyond the
+  // soundness contract (cover every send) it should be *exact*: every round
+  // the walk probes is a genuine send. Use an n whose geometry has several
+  // SSF families (n = 600 gives s_max = 3: F_1, F_2, and the round-robin
+  // tail), so the walk crosses real epoch structure in both participation
+  // modes.
+  constexpr NodeId n = 600;
+  constexpr Round kWindow = 4000;
+  for (const bool forever : {false, true}) {
+    const auto factory =
+        make_strong_select_factory(n, {.participate_forever = forever});
+    StreamRng rng(0xE90C + static_cast<std::uint64_t>(forever));
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto id = static_cast<ProcessId>(
+          rng.below(static_cast<std::uint64_t>(n)));
+      const auto proc = factory(id, n, 0);
+      const Round token_round = static_cast<Round>(rng.below(50));
+      const Message token_msg{/*token=*/true, /*origin=*/0,
+                              /*round_tag=*/token_round, /*payload=*/1};
+      if (token_round == 0) {
+        proc->on_activate(0, token_msg);
+      } else {
+        proc->on_activate(0, std::nullopt);
+        proc->on_receive(token_round, Reception::of(token_msg));
+      }
+      const std::string label = std::string("forever=") +
+                                (forever ? "1" : "0") +
+                                "/id=" + std::to_string(id) +
+                                "/t=" + std::to_string(token_round);
+      std::set<Round> sends;
+      for (Round r = token_round + 1; r < token_round + 1 + kWindow; ++r) {
+        if (proc->next_action(r).send) sends.insert(r);
+      }
+      std::set<Round> probed;
+      for (Round r = token_round + 1;;) {
+        const Round hint = proc->next_send_round(r);
+        if (hint == kNever || hint >= token_round + 1 + kWindow) break;
+        EXPECT_TRUE(proc->next_action(hint).send)
+            << label << ": walk probed silent round " << hint;
+        probed.insert(hint);
+        r = hint + 1;
+      }
+      EXPECT_EQ(probed, sends) << label;
+      if (!forever) {
+        // Once every family's single iteration is over, the plan is kNever.
+        const auto schedule = make_strong_select_schedule(n);
+        EXPECT_EQ(proc->next_send_round(
+                      schedule->done_round_bound(token_round) + 1),
+                  kNever)
+            << label;
+      }
+    }
   }
 }
 

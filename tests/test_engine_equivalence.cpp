@@ -7,6 +7,8 @@
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/greedy_blocker.hpp"
+#include "adversary/scripted_adversary.hpp"
+#include "adversary/theorem2_adversary.hpp"
 #include "algorithms/cms_oblivious.hpp"
 #include "algorithms/decay.hpp"
 #include "algorithms/harmonic.hpp"
@@ -216,6 +218,67 @@ TEST(EngineEquivalence, MultiTokenExecutions) {
                  "bmmb/k=" + std::to_string(k) + "/" + to_string(start));
       }
     }
+  }
+}
+
+TEST(EngineEquivalence, ProofRuleAndScriptedAdversaries) {
+  // The remaining migrated implementations — the Theorem 2 fixed-rule
+  // adversary (with its pinned proc mapping) and a scripted replay — must
+  // round-trip both engines and the parallel kernel bit-identically too.
+  {
+    const NodeId n = 12;
+    const DualGraph net = duals::bridge_network(n);
+    // Owns the rule adversary and the pinned assignment in one object so a
+    // campaign-style factory can mint fresh ones per engine run.
+    class PinnedTheorem2 : public Theorem2Adversary {
+     public:
+      explicit PinnedTheorem2(NodeId n)
+          : Theorem2Adversary(duals::bridge_layout(n)),
+            map_(theorem2_assignment(n, 4)) {}
+      std::vector<ProcessId> assign_processes(const DualGraph&) override {
+        return map_;
+      }
+
+     private:
+      std::vector<ProcessId> map_;
+    };
+    SimConfig config;
+    config.rule = CollisionRule::CR1;
+    config.start = StartRule::Synchronous;
+    config.max_rounds = 5'000;
+    config.seed = 31;
+    config.trace = TraceLevel::Full;
+    run_both(net, make_harmonic_factory(n, {.eps = 0.2}),
+             [n](std::uint64_t) { return std::make_unique<PinnedTheorem2>(n); },
+             config, "theorem2/bridge");
+  }
+  {
+    const DualGraph net = duals::gray_zone({.n = 28, .seed = 15});
+    // A random legal (G'-only) script, replayed identically per run.
+    AdversaryScript script;
+    script.reach.resize(64);
+    StreamRng rng(0x5C12);
+    for (auto& plan : script.reach) {
+      for (NodeId u = 0; u < net.node_count(); ++u) {
+        if (!rng.bernoulli(0.4)) continue;
+        std::vector<NodeId> extras;
+        for (const NodeId v : net.unreliable_out(u)) {
+          if (rng.bernoulli(0.5)) extras.push_back(v);
+        }
+        if (!extras.empty()) plan[u] = std::move(extras);
+      }
+    }
+    SimConfig config;
+    config.rule = CollisionRule::CR3;
+    config.start = StartRule::Asynchronous;
+    config.max_rounds = 20'000;
+    config.seed = 77;
+    config.trace = TraceLevel::Full;
+    run_both(net, make_decay_factory(net.node_count()),
+             [&script](std::uint64_t) {
+               return std::make_unique<ScriptedAdversary>(script);
+             },
+             config, "scripted/grayzone");
   }
 }
 

@@ -449,5 +449,35 @@ TEST(GraphAlg, CsrBfsMatchesGraphBfs) {
   EXPECT_TRUE(graphalg::all_reachable(csr, 0));
 }
 
+TEST(CsrGraph, OffsetOverflowGuardFailsLoudlyPast32Bit) {
+  // Every freeze path (Graph snapshot, builder freeze) funnels its
+  // post-dedup edge count through require_edges_fit; offsets are 32-bit, so
+  // one edge past kMaxEdges must be a clear error, never a silent wrap. The
+  // guard is exercised directly — materializing 2^32 edges (32+ GB) in a
+  // unit test is not an option, which is exactly why it is a testable
+  // seam.
+  EXPECT_NO_THROW(CsrGraph::require_edges_fit(0));
+  EXPECT_NO_THROW(CsrGraph::require_edges_fit(CsrGraph::kMaxEdges));
+  EXPECT_THROW(CsrGraph::require_edges_fit(CsrGraph::kMaxEdges + 1),
+               std::invalid_argument);
+  EXPECT_THROW(CsrGraph::require_edges_fit(std::size_t{1} << 33),
+               std::invalid_argument);
+  try {
+    CsrGraph::require_edges_fit(std::uint64_t{1} << 32);
+    FAIL() << "guard accepted 2^32 edges";
+  } catch (const std::invalid_argument& e) {
+    // The message must say what overflowed and name the way forward.
+    EXPECT_NE(std::string(e.what()).find("32-bit"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("64-bit"), std::string::npos)
+        << e.what();
+  }
+  // Normal freezes are untouched by the guard.
+  CsrGraphBuilder builder(3);
+  builder.add_undirected_edge(0, 1);
+  builder.add_undirected_edge(1, 2);
+  EXPECT_EQ(builder.freeze().edge_count(), 4u);
+}
+
 }  // namespace
 }  // namespace dualrad

@@ -26,20 +26,18 @@ class FuzzAdversary : public Adversary {
  public:
   explicit FuzzAdversary(std::uint64_t seed) : rng_(seed) {}
 
-  std::vector<ReachChoice> choose_unreliable_reach(
-      const AdversaryView& view, const std::vector<NodeId>& senders) override {
-    std::vector<ReachChoice> out(senders.size());
+  void choose_unreliable_reach(const AdversaryView& view,
+                               std::span<const NodeId> senders,
+                               ReachSink& sink) override {
     for (std::size_t i = 0; i < senders.size(); ++i) {
-      const auto& options = view.net->unreliable_out(senders[i]);
-      for (NodeId v : options) {
+      for (NodeId v : view.unreliable->row(senders[i])) {
         // Heavily biased coin that changes flavor every few rounds.
         const double p = (view.round / 7) % 3 == 0   ? 0.9
                          : (view.round / 7) % 3 == 1 ? 0.1
                                                      : 0.5;
-        if (rng_.bernoulli(p)) out[i].extra.push_back(v);
+        if (rng_.bernoulli(p)) sink.add(i, v);
       }
     }
-    return out;
   }
 
   Reception resolve_cr4(const AdversaryView&, NodeId,
