@@ -14,14 +14,17 @@
 //     separately. The 10^6 points run under TraceLevel::Bounded, proving the
 //     memory-capped trace mode on the workloads it exists for.
 // Emits BENCH_engine.json: per (scenario, engine) the completion round, wall
-// time (min over --repeat runs), rounds/sec, and the process peak RSS
-// sampled after the run (Linux ru_maxrss is a high-water mark, so points run
-// in ascending n and the largest entries dominate the tail), plus speedup
-// maps for engine-vs-reference and parallel-vs-serial.
+// time (min over --repeat runs), rounds/sec, and the *per-measurement* peak
+// RSS (the kernel high-water mark is reset before each measurement via
+// obs::reset_peak, so a row's peak is its own, not inherited from earlier
+// rows; where /proc/self/clear_refs is unavailable the column degrades to
+// the monotone process-wide peak and the JSON flags it with
+// "rss_per_scenario": false), plus speedup maps for engine-vs-reference and
+// parallel-vs-serial.
 //
 // Usage: bench_engine_scaling [--quick] [--repeat=N] [--filter=SUBSTR]
 //                             [--max-rss-mb=N] [--min-parallel-speedup=X]
-//                             [--out=PATH]
+//                             [--telemetry] [--out=PATH]
 //   --quick       skip the "slow"-tagged points (n >= 10^5; CI-friendly)
 //   --repeat=N    run each measurement N times and report the minimum wall
 //                 time (de-noises the committed baseline; simulation output
@@ -33,10 +36,13 @@
 //   --min-parallel-speedup=X  exit nonzero if the best csr-mt4 vs csr
 //                 rounds/sec ratio falls below X (only meaningful on
 //                 multi-core hosts; the CI runners gate on it)
+//   --telemetry   attach the obs::RoundTelemetry layer to every timed run
+//                 and print the per-phase wall-time breakdown per row.
+//                 Off by default: committed baselines measure the
+//                 telemetry-disabled (branch-on-null) hot path
 //   --out         output path for the JSON report (default BENCH_engine.json)
 
-#include <sys/resource.h>
-
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -51,6 +57,8 @@
 #include "core/reference_engine.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
+#include "obs/rss.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dualrad {
 namespace {
@@ -70,17 +78,17 @@ struct Measurement {
   double wall_ms = 0.0;
   double rounds_per_sec = 0.0;
   double peak_rss_mb = 0.0;
+  std::array<std::uint64_t, obs::kPhaseCount> phase_ns{};  // --telemetry only
 };
 
-double peak_rss_mb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB -> MiB (Linux)
-}
+// False once any obs::reset_peak() fails: the peak_rss_mb column is then the
+// monotone process-wide high-water mark, and the JSON says so.
+bool g_rss_per_scenario = true;
 
 Measurement run_one(const campaign::Scenario& spec, const DualGraph& net,
                     const ProcessFactory& factory, EngineKind kind,
-                    std::size_t repeat, bool bounded_trace) {
+                    std::size_t repeat, bool bounded_trace,
+                    obs::RoundTelemetry* telemetry) {
   SimConfig config;
   config.rule = spec.rule;
   config.start = spec.start;
@@ -89,6 +97,12 @@ Measurement run_one(const campaign::Scenario& spec, const DualGraph& net,
   config.token_sources = spec.token_sources;
   if (kind == EngineKind::CsrParallel) config.threads = kParallelThreads;
   if (bounded_trace) config.trace = TraceLevel::Bounded;
+  config.telemetry = telemetry;
+
+  // Per-measurement RSS: reset the kernel high-water mark so this row's peak
+  // covers exactly this measurement's allocations (plus whatever is already
+  // resident — the true working set it runs against).
+  g_rss_per_scenario = obs::reset_peak() && g_rss_per_scenario;
 
   double best_seconds = 0.0;
   SimResult result;
@@ -124,7 +138,12 @@ Measurement run_one(const campaign::Scenario& spec, const DualGraph& net,
       best_seconds > 0
           ? static_cast<double>(result.rounds_executed) / best_seconds
           : 0;
-  m.peak_rss_mb = peak_rss_mb();
+  m.peak_rss_mb = obs::peak_rss_mb();
+  if (telemetry != nullptr) {
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      m.phase_ns[p] = telemetry->total_phase_ns(static_cast<obs::Phase>(p));
+    }
+  }
   return m;
 }
 
@@ -134,7 +153,8 @@ void write_json(const std::string& path,
                 const std::map<std::string, double>& speedups,
                 const std::map<std::string, double>& parallel_speedups) {
   std::ofstream out(path);
-  out << "{\n  \"bench\": \"engine_scaling\",\n  \"measurements\": [\n";
+  out << "{\n  \"bench\": \"engine_scaling\",\n  \"rss_per_scenario\": "
+      << (g_rss_per_scenario ? "true" : "false") << ",\n  \"measurements\": [\n";
   for (std::size_t i = 0; i < measurements.size(); ++i) {
     const Measurement& m = measurements[i];
     char buf[512];
@@ -179,6 +199,7 @@ int main(int argc, char** argv) {
   using namespace dualrad;
 
   bool quick = false;
+  bool with_telemetry = false;
   std::size_t repeat = 1;
   double max_rss_mb = 0.0;            // 0 = no ceiling
   double min_parallel_speedup = 0.0;  // 0 = no floor
@@ -188,6 +209,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--telemetry") {
+      with_telemetry = true;
     } else if (arg.rfind("--repeat=", 0) == 0) {
       repeat = std::stoul(arg.substr(9));
     } else if (arg.rfind("--filter=", 0) == 0) {
@@ -201,7 +224,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: bench_engine_scaling [--quick] [--repeat=N] "
                    "[--filter=SUBSTR] [--max-rss-mb=N] "
-                   "[--min-parallel-speedup=X] [--out=PATH]\n";
+                   "[--min-parallel-speedup=X] [--telemetry] [--out=PATH]\n";
       return 2;
     }
   }
@@ -212,8 +235,9 @@ int main(int argc, char** argv) {
 
   const campaign::ScenarioRegistry registry = campaign::builtin_registry();
   std::vector<campaign::Scenario> points = registry.match("scale");
-  // Run the smallest n first so the peak-RSS column (a process-wide
-  // high-water mark) attributes growth to the right point.
+  // Run the smallest n first: the peak-RSS reset keeps rows independent, but
+  // ascending n still keeps already-resident footprint (the reset's floor)
+  // minimal for the small points, and the output order stable.
   const auto size_rank = [](const campaign::Scenario& s) {
     if (s.name.find("-1m/") != std::string::npos) return 3;
     if (s.name.find("-100k/") != std::string::npos) return 2;
@@ -249,6 +273,11 @@ int main(int argc, char** argv) {
     }
   };
 
+  // One registry reused across measurements (each run resets it); attached
+  // only under --telemetry so default baselines measure the disabled path.
+  obs::RoundTelemetry telemetry(1);
+  obs::RoundTelemetry* const tel = with_telemetry ? &telemetry : nullptr;
+
   for (const campaign::Scenario& spec : points) {
     bool slow = false;
     for (const std::string& tag : spec.tags) slow = slow || tag == "slow";
@@ -267,7 +296,7 @@ int main(int argc, char** argv) {
     const ProcessFactory factory = spec.algorithm(net);
 
     const Measurement fast =
-        run_one(spec, net, factory, EngineKind::Csr, reps, bounded);
+        run_one(spec, net, factory, EngineKind::Csr, reps, bounded, tel);
     record(fast);
 
     // Serial vs sharded-parallel on the 100k+ points (heavy rounds; the
@@ -275,8 +304,9 @@ int main(int argc, char** argv) {
     // kernel's results must be identical at these scales too — sizes the
     // unit-test grid cannot reach — so a mismatch fails the run.
     if (rank >= 2) {
-      const Measurement par =
-          run_one(spec, net, factory, EngineKind::CsrParallel, reps, bounded);
+      const Measurement par = run_one(spec, net, factory,
+                                      EngineKind::CsrParallel, reps, bounded,
+                                      tel);
       record(par);
       if (par.completed != fast.completed || par.rounds != fast.rounds ||
           par.sends != fast.sends) {
@@ -294,8 +324,9 @@ int main(int argc, char** argv) {
     // The dense engine's O(n) rounds make 100k+ points minutes-slow; the
     // comparison points are the 1k and 10k grid.
     if (rank <= 1) {
-      const Measurement ref =
-          run_one(spec, net, factory, EngineKind::Reference, reps, bounded);
+      const Measurement ref = run_one(spec, net, factory,
+                                      EngineKind::Reference, reps, bounded,
+                                      tel);
       record(ref);
       if (ref.rounds_per_sec > 0) {
         speedups[spec.name] = fast.rounds_per_sec / ref.rounds_per_sec;
@@ -303,6 +334,28 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  if (!g_rss_per_scenario) {
+    std::cout << "note: /proc/self/clear_refs unavailable; peak RSS is the "
+                 "monotone process-wide high-water mark\n";
+  }
+
+  if (with_telemetry && !measurements.empty()) {
+    std::cout << "\nphase breakdown (--telemetry; % of phase-timed wall, "
+                 "last run):\n";
+    for (const Measurement& m : measurements) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t ns : m.phase_ns) total += ns;
+      if (total == 0) continue;
+      std::printf("  %-45s %-10s", m.scenario.c_str(), m.engine.c_str());
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        std::printf(" %s %4.1f%%",
+                    obs::phase_name(static_cast<obs::Phase>(p)),
+                    100.0 * static_cast<double>(m.phase_ns[p]) /
+                        static_cast<double>(total));
+      }
+      std::printf("\n");
+    }
+  }
 
   if (measurements.empty()) {
     // A filter typo must not turn the CI gates into a vacuous pass.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <set>
@@ -10,6 +12,8 @@
 #include <thread>
 
 #include "core/rng.hpp"
+#include "obs/rss.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dualrad::campaign {
 
@@ -79,6 +83,7 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
 
   CampaignResult result;
   result.trials.resize(total_jobs);
+  if (config.collect_telemetry) result.telemetry.resize(total_jobs);
 
   // job id -> scenario index, so workers claim jobs with one atomic fetch.
   std::vector<std::size_t> scenario_of_job(total_jobs);
@@ -89,6 +94,8 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
   }
 
   std::atomic<std::size_t> next_job{0};
+  std::atomic<std::size_t> jobs_done{0};
+  std::atomic<std::uint64_t> rounds_done{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -113,6 +120,11 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
     sim.seed = seed;
     sim.token_sources = p.spec->token_sources;
     sim.threads = config.threads_per_trial;
+    // One telemetry registry per trial, attached out-of-band. Window 1: the
+    // campaign keeps only whole-execution totals, so the per-round ring can
+    // be minimal.
+    obs::RoundTelemetry telemetry(1);
+    if (config.collect_telemetry) sim.telemetry = &telemetry;
     const auto started = std::chrono::steady_clock::now();
     const SimResult run =
         p.spec->runner ? p.spec->runner(p.net, p.factory, *adversary, sim)
@@ -135,10 +147,38 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
               .count();
     }
 
+    if (config.collect_telemetry) {
+      TelemetryRow& t = result.telemetry[job];
+      t.scenario = p.spec->name;
+      t.trial = static_cast<std::uint32_t>(trial);
+      t.wall_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count();
+      t.poll_ns = telemetry.total_phase_ns(obs::Phase::Poll);
+      t.adversary_ns = telemetry.total_phase_ns(obs::Phase::Adversary);
+      t.propagate_ns = telemetry.total_phase_ns(obs::Phase::Propagate);
+      t.deliver_ns = telemetry.total_phase_ns(obs::Phase::Deliver);
+      t.merge_ns = telemetry.total_phase_ns(obs::Phase::ShardMerge);
+      const obs::RoundCounters& c = telemetry.totals();
+      t.polled = c.polled;
+      t.senders = c.senders;
+      t.deliveries = c.deliveries;
+      t.collisions = c.collisions;
+      t.calendar_scanned = c.calendar_scanned;
+      t.replans = c.replans;
+      t.reach_appends = c.reach_appends;
+      t.newly_covered = c.newly_covered;
+      t.max_round_deliveries = telemetry.max_round_deliveries();
+    }
+
     if (config.observer) {
       const std::lock_guard<std::mutex> lock(observer_mutex);
       config.observer(*p.spec, row, run);
     }
+
+    rounds_done.fetch_add(static_cast<std::uint64_t>(run.rounds_executed),
+                          std::memory_order_relaxed);
+    jobs_done.fetch_add(1, std::memory_order_relaxed);
   };
 
   const auto worker = [&]() {
@@ -162,6 +202,47 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(total_jobs, 1)));
 
+  // Progress heartbeat: one line to stderr every heartbeat_secs while trials
+  // run. Reads only the progress atomics and /proc RSS — never results.
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat;
+  if (config.heartbeat_secs > 0) {
+    heartbeat = std::thread([&] {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      while (!hb_cv.wait_for(lock,
+                             std::chrono::seconds(config.heartbeat_secs),
+                             [&] { return hb_stop; })) {
+        const std::size_t done = jobs_done.load(std::memory_order_relaxed);
+        const std::uint64_t rounds =
+            rounds_done.load(std::memory_order_relaxed);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const double rate =
+            secs > 0.0 ? static_cast<double>(rounds) / secs : 0.0;
+        char eta[32];
+        if (done == 0) {
+          std::snprintf(eta, sizeof eta, "?");
+        } else if (done >= total_jobs) {
+          std::snprintf(eta, sizeof eta, "0s");
+        } else {
+          const double remaining =
+              secs / static_cast<double>(done) *
+              static_cast<double>(total_jobs - done);
+          std::snprintf(eta, sizeof eta, "%.0fs", remaining);
+        }
+        std::fprintf(stderr,
+                     "[campaign] %zu/%zu trials | %.1f rounds/s | eta %s | "
+                     "rss %.1f MB\n",
+                     done, total_jobs, rate, eta, obs::current_rss_mb());
+      }
+    });
+  }
+
   if (threads <= 1) {
     worker();
   } else {
@@ -169,6 +250,14 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
     pool.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+  if (heartbeat.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_one();
+    heartbeat.join();
   }
   if (first_error) std::rethrow_exception(first_error);
 

@@ -46,6 +46,36 @@ struct TrialRow {
   friend bool operator==(const TrialRow&, const TrialRow&) = default;
 };
 
+/// One trial's telemetry digest (phase times + hot-path counter totals from
+/// obs::RoundTelemetry), produced only when CampaignConfig::collect_telemetry
+/// is set. Like wall_us, the phase times are nondeterministic and live
+/// OUTSIDE the determinism contract — they are exported to a separate
+/// opt-in JSONL stream (export.hpp telemetry_to_jsonl) and never touch the
+/// default exports.
+struct TelemetryRow {
+  std::string scenario;
+  std::uint32_t trial = 0;
+  std::int64_t wall_us = -1;
+  // Per-phase wall time (nanoseconds), summed over all rounds.
+  std::uint64_t poll_ns = 0;
+  std::uint64_t adversary_ns = 0;
+  std::uint64_t propagate_ns = 0;
+  std::uint64_t deliver_ns = 0;
+  std::uint64_t merge_ns = 0;
+  // Counter totals (deterministic: equal for any thread count).
+  std::uint64_t polled = 0;
+  std::uint64_t senders = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t calendar_scanned = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t reach_appends = 0;
+  std::uint64_t newly_covered = 0;
+  std::uint64_t max_round_deliveries = 0;
+
+  friend bool operator==(const TelemetryRow&, const TelemetryRow&) = default;
+};
+
 /// Per-scenario aggregate over its trials. Round statistics are over
 /// *completed* trials only; `failures` counts the rest.
 struct ScenarioSummary {
@@ -64,6 +94,9 @@ struct CampaignResult {
   std::vector<TrialRow> trials;
   /// One summary per scenario, in scenario order.
   std::vector<ScenarioSummary> summaries;
+  /// Telemetry rows, same order as `trials`; empty unless
+  /// CampaignConfig::collect_telemetry was set.
+  std::vector<TelemetryRow> telemetry;
 };
 
 struct CampaignConfig {
@@ -83,6 +116,15 @@ struct CampaignConfig {
   /// mean_wall_ms). Off by default because timing is inherently
   /// nondeterministic; simulation results are unaffected either way.
   bool measure_wall_time = false;
+  /// Attach an obs::RoundTelemetry to every trial and fill
+  /// CampaignResult::telemetry. The simulation results and default exports
+  /// are bit-identical either way (pinned in tests) — telemetry is strictly
+  /// out-of-band.
+  bool collect_telemetry = false;
+  /// When nonzero, a progress heartbeat is printed to stderr every this many
+  /// seconds: trials done/total, aggregate simulated rounds/s, ETA, and the
+  /// process's current RSS. Purely cosmetic; never touches results.
+  unsigned heartbeat_secs = 0;
   /// Optional per-trial observer with access to the full SimResult (e.g. for
   /// audits that need first_token). Called from worker threads but
   /// serialized by the engine; completion order is scheduling-dependent, so

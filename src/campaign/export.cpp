@@ -251,6 +251,74 @@ std::vector<TrialRow> trials_from_csv(const std::string& text) {
   return rows;
 }
 
+std::string telemetry_to_jsonl(const std::vector<TelemetryRow>& rows) {
+  std::string out;
+  for (const TelemetryRow& r : rows) {
+    require_exportable(r.scenario);
+    out += "{\"scenario\":\"" + r.scenario + "\"";
+    out += ",\"trial\":" + std::to_string(r.trial);
+    out += ",\"wall_us\":" + std::to_string(r.wall_us);
+    out += ",\"poll_ns\":" + std::to_string(r.poll_ns);
+    out += ",\"adversary_ns\":" + std::to_string(r.adversary_ns);
+    out += ",\"propagate_ns\":" + std::to_string(r.propagate_ns);
+    out += ",\"deliver_ns\":" + std::to_string(r.deliver_ns);
+    out += ",\"merge_ns\":" + std::to_string(r.merge_ns);
+    out += ",\"polled\":" + std::to_string(r.polled);
+    out += ",\"senders\":" + std::to_string(r.senders);
+    out += ",\"deliveries\":" + std::to_string(r.deliveries);
+    out += ",\"collisions\":" + std::to_string(r.collisions);
+    out += ",\"calendar_scanned\":" + std::to_string(r.calendar_scanned);
+    out += ",\"replans\":" + std::to_string(r.replans);
+    out += ",\"reach_appends\":" + std::to_string(r.reach_appends);
+    out += ",\"newly_covered\":" + std::to_string(r.newly_covered);
+    out += ",\"max_round_deliveries\":" +
+           std::to_string(r.max_round_deliveries);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<TelemetryRow> telemetry_from_jsonl(const std::string& text) {
+  std::vector<TelemetryRow> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    DUALRAD_REQUIRE(line.back() == '}', "truncated JSONL line: " + line);
+    TelemetryRow r;
+    r.scenario = std::string(field(line, "scenario"));
+    r.trial = static_cast<std::uint32_t>(to_u64(field(line, "trial")));
+    // Everything else is optional: lines from before a given counter existed
+    // (including timing-only legacy rows with just wall_us) parse with that
+    // counter at its default.
+    const auto opt_ll = [&](std::string_view key, std::int64_t dflt) {
+      const std::optional<std::string_view> v = field_opt(line, key);
+      return v.has_value() ? to_ll(*v) : dflt;
+    };
+    const auto opt_u64 = [&](std::string_view key) -> std::uint64_t {
+      const std::optional<std::string_view> v = field_opt(line, key);
+      return v.has_value() ? to_u64(*v) : 0;
+    };
+    r.wall_us = opt_ll("wall_us", -1);
+    r.poll_ns = opt_u64("poll_ns");
+    r.adversary_ns = opt_u64("adversary_ns");
+    r.propagate_ns = opt_u64("propagate_ns");
+    r.deliver_ns = opt_u64("deliver_ns");
+    r.merge_ns = opt_u64("merge_ns");
+    r.polled = opt_u64("polled");
+    r.senders = opt_u64("senders");
+    r.deliveries = opt_u64("deliveries");
+    r.collisions = opt_u64("collisions");
+    r.calendar_scanned = opt_u64("calendar_scanned");
+    r.replans = opt_u64("replans");
+    r.reach_appends = opt_u64("reach_appends");
+    r.newly_covered = opt_u64("newly_covered");
+    r.max_round_deliveries = opt_u64("max_round_deliveries");
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("dualrad: cannot open " + path);

@@ -51,6 +51,22 @@ namespace dualrad::campaign {
 /// 8-column, the 9-column, and the timed 10-column layouts).
 [[nodiscard]] std::vector<TrialRow> trials_from_csv(const std::string& text);
 
+/// Per-trial telemetry JSONL (CampaignResult::telemetry). Keys per line:
+/// scenario, trial, wall_us, poll_ns, adversary_ns, propagate_ns,
+/// deliver_ns, merge_ns, polled, senders, deliveries, collisions,
+/// calendar_scanned, replans, reach_appends, newly_covered,
+/// max_round_deliveries. This stream is opt-in and — unlike the default
+/// trial exports — inherently nondeterministic (it carries wall times); the
+/// counter totals in it ARE deterministic.
+[[nodiscard]] std::string telemetry_to_jsonl(
+    const std::vector<TelemetryRow>& rows);
+
+/// Inverse of telemetry_to_jsonl. Only scenario and trial are required:
+/// wall_us defaults to -1 and every telemetry counter to 0, so legacy lines
+/// that carry wall_us but predate the telemetry columns still parse.
+[[nodiscard]] std::vector<TelemetryRow> telemetry_from_jsonl(
+    const std::string& text);
+
 /// Write `content` to `path` (truncating). Throws std::runtime_error on I/O
 /// failure.
 void write_file(const std::string& path, const std::string& content);

@@ -20,7 +20,8 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                             CollisionRule rule,
                             const std::vector<NodeId>& token_sources) {
   AuditReport report;
-  if (result.trace.level != TraceLevel::Full) {
+  const bool compressed = result.trace.level == TraceLevel::Compressed;
+  if (result.trace.level != TraceLevel::Full && !compressed) {
     report.fail("audit requires a full trace");
     return report;
   }
@@ -95,7 +96,17 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
   std::int64_t epoch = 0;
   std::int64_t reach_mark = 0;
 
-  for (const auto& record : result.trace.rounds) {
+  // Compressed traces are decoded one round at a time into a reusable
+  // scratch record (the decode is value-identical to the Full-mode record),
+  // so the audit itself never materializes the whole history.
+  RoundRecord scratch;
+  const std::size_t round_count = compressed
+                                      ? result.trace.compressed_rounds()
+                                      : result.trace.rounds.size();
+  for (std::size_t ri = 0; ri < round_count; ++ri) {
+    if (compressed) result.trace.decode_compressed(ri, n, scratch);
+    const RoundRecord& record =
+        compressed ? scratch : result.trace.rounds[ri];
     ++epoch;
     const auto deposit = [&](NodeId v, const Message& m) {
       const auto uv = static_cast<std::size_t>(v);

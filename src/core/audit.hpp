@@ -25,7 +25,8 @@ struct AuditReport {
   }
 };
 
-/// Audit a full trace (requires SimConfig::trace == TraceLevel::Full):
+/// Audit a complete trace (requires SimConfig::trace == TraceLevel::Full or
+/// TraceLevel::Compressed — compressed rounds are decoded on the fly):
 ///  - every reached node of every sender is a G'-out-neighbor;
 ///  - every G-out-neighbor of every sender is reached (reliable edges
 ///    always deliver);

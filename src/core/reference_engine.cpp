@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/rng.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dualrad {
 
@@ -122,14 +123,33 @@ SimResult run_broadcast_reference(const DualGraph& net,
 
   const std::size_t all_held = k * un;
 
+  // Telemetry mirrors the sparse engine's (core/simulator.cpp): strictly
+  // out-of-band reads + clock samples, all behind one null check. The
+  // reference engine has no calendar and no shards, so calendar_scanned and
+  // replans stay 0 and ShardMerge is never timed.
+  obs::RoundTelemetry* const telemetry = config.telemetry;
+  if (telemetry) telemetry->begin_execution(n, 1);
+
   for (Round round = 1; round <= config.max_rounds; ++round) {
     result.rounds_executed = round;
+    if (telemetry) telemetry->begin_round(round);
+    std::uint64_t phase_start = telemetry ? obs::monotonic_ns() : 0;
+    const auto end_phase = [&](obs::Phase phase) {
+      if (telemetry == nullptr) return;
+      const std::uint64_t now = obs::monotonic_ns();
+      telemetry->add_phase_ns(phase, now - phase_start);
+      phase_start = now;
+    };
+    std::uint64_t polled = 0;
+    std::uint64_t deliveries = 0;
+
     senders.clear();
     for (NodeId v = 0; v < n; ++v) {
       const auto uv = static_cast<std::size_t>(v);
       is_sender[uv] = false;
       arrivals[uv].clear();
       if (!awake[uv]) continue;
+      if (telemetry) ++polled;
       const Action action = proc_at[uv]->next_action(round);
       if (!action.send) continue;
       const TokenId tok = action.message.token;
@@ -143,6 +163,7 @@ SimResult run_broadcast_reference(const DualGraph& net,
       senders.push_back(v);
     }
     result.total_sends += senders.size();
+    end_phase(obs::Phase::Poll);
 
     // Adversary chooses which unreliable links fire.
     AdversaryView view = AdversaryView::of(net, result.process_of_node,
@@ -150,10 +171,13 @@ SimResult run_broadcast_reference(const DualGraph& net,
     sink.begin_round(senders.size());
     adversary.choose_unreliable_reach(view, senders, sink);
     sink.seal();
+    end_phase(obs::Phase::Adversary);
 
     RoundRecord record;
     const bool full_trace = config.trace == TraceLevel::Full;
-    if (full_trace) record.round = round;
+    const bool compressed_trace = config.trace == TraceLevel::Compressed;
+    const bool record_trace = full_trace || compressed_trace;
+    if (record_trace) record.round = round;
 
     // Message propagation: sender itself + G out-neighbors + chosen extras.
     for (std::size_t i = 0; i < senders.size(); ++i) {
@@ -162,22 +186,27 @@ SimResult run_broadcast_reference(const DualGraph& net,
       const Message& m = sent_msg[uu];
       arrivals[uu].push_back(m);
       SenderRecord srec;
-      if (full_trace) {
+      if (record_trace) {
         srec.node = u;
         srec.message = m;
       }
       for (NodeId v : g.out_neighbors(u)) {
         arrivals[static_cast<std::size_t>(v)].push_back(m);
-        if (full_trace) srec.reached.push_back(v);
+        if (record_trace) srec.reached.push_back(v);
       }
       for (NodeId v : sink.extras(i)) {
         DUALRAD_CHECK(gp.has_edge(u, v) && !g.has_edge(u, v),
                       "adversary chose a non-G'-only edge");
         arrivals[static_cast<std::size_t>(v)].push_back(m);
-        if (full_trace) srec.reached.push_back(v);
+        if (record_trace) srec.reached.push_back(v);
       }
-      if (full_trace) record.senders.push_back(std::move(srec));
+      if (record_trace) record.senders.push_back(std::move(srec));
+      if (telemetry) {
+        deliveries += 1 + static_cast<std::uint64_t>(g.out_degree(u)) +
+                      sink.extras(i).size();
+      }
     }
+    end_phase(obs::Phase::Propagate);
 
     // Receptions under the configured collision rule.
     std::uint32_t collision_events = 0;
@@ -228,6 +257,7 @@ SimResult run_broadcast_reference(const DualGraph& net,
       receptions[uv] = rec;
     }
     result.total_collision_events += collision_events;
+    end_phase(obs::Phase::Deliver);
 
     // Deliver; wake sleeping processes on message reception (async start).
     for (NodeId v = 0; v < n; ++v) {
@@ -257,10 +287,23 @@ SimResult run_broadcast_reference(const DualGraph& net,
     // with the covered flags already advanced.
     covered_delta.swap(next_delta);
     next_delta.clear();
+    end_phase(obs::Phase::Deliver);
     view.newly_covered = covered_delta;
     adversary.on_round_end(view);
+    end_phase(obs::Phase::Adversary);
 
-    if (config.trace == TraceLevel::Counts || full_trace) {
+    if (telemetry) {
+      obs::RoundCounters& c = telemetry->counters();
+      c.polled = polled;
+      c.senders = senders.size();
+      c.deliveries = deliveries;
+      c.collisions = collision_events;
+      c.reach_appends = sink.total();
+      c.newly_covered = covered_delta.size();
+      telemetry->end_round();
+    }
+
+    if (config.trace == TraceLevel::Counts || record_trace) {
       result.trace.senders_per_round.push_back(
           static_cast<std::uint32_t>(senders.size()));
       result.trace.collisions_per_round.push_back(collision_events);
@@ -268,9 +311,13 @@ SimResult run_broadcast_reference(const DualGraph& net,
       result.trace.record_bounded_round(
           round, static_cast<std::uint32_t>(senders.size()), collision_events);
     }
-    if (full_trace) {
+    if (record_trace) {
       record.receptions.assign(receptions.begin(), receptions.end());
-      result.trace.rounds.push_back(std::move(record));
+      if (full_trace) {
+        result.trace.rounds.push_back(std::move(record));
+      } else {
+        result.trace.append_compressed(record);
+      }
     }
 
     if (held_count == all_held && !result.completed) {
@@ -279,6 +326,8 @@ SimResult run_broadcast_reference(const DualGraph& net,
       if (config.stop_on_completion) break;
     }
   }
+
+  if (telemetry) telemetry->end_execution();
 
   result.first_token = result.token_first.front();
   for (NodeId v = 0; v < n; ++v) {

@@ -11,6 +11,7 @@
 
 #include "core/rng.hpp"
 #include "graph/graph.hpp"
+#include "obs/telemetry.hpp"
 
 namespace dualrad {
 
@@ -91,9 +92,12 @@ class SendCalendar {
   }
 
   /// Nodes whose plan names `round`, deduplicated; the bucket is drained.
-  void take_due(Round round, std::vector<NodeId>& out) {
+  /// Returns the number of bucket entries scanned (live + stale) — the
+  /// telemetry layer's calendar-pressure counter.
+  std::size_t take_due(Round round, std::vector<NodeId>& out) {
     auto& bucket =
         buckets_[static_cast<std::size_t>(round) & (buckets_.size() - 1)];
+    const std::size_t scanned = bucket.size();
     for (NodeId v : bucket) {
       if (planned_[static_cast<std::size_t>(v)] == round) {
         out.push_back(v);
@@ -103,6 +107,7 @@ class SendCalendar {
       }
     }
     bucket.clear();
+    return scanned;
   }
 
  private:
@@ -339,8 +344,12 @@ SimResult Simulator::run() {
 
   result.trace.level = config_.trace;
   const bool full_trace = config_.trace == TraceLevel::Full;
+  const bool compressed_trace = config_.trace == TraceLevel::Compressed;
+  // Compressed mode builds the identical per-round scratch record and then
+  // delta-encodes it (core/trace.cpp) instead of storing it.
+  const bool record_trace = full_trace || compressed_trace;
   const bool counted_trace =
-      config_.trace == TraceLevel::Counts || full_trace;
+      config_.trace == TraceLevel::Counts || record_trace;
   if (config_.trace == TraceLevel::Bounded) {
     result.trace.window = config_.trace_window;
     result.trace.ring_senders.assign(config_.trace_window, 0);
@@ -404,12 +413,27 @@ SimResult Simulator::run() {
   const std::size_t all_held = k * un;
   const bool spill_arrivals = config_.rule == CollisionRule::CR4;
 
+  // Telemetry (obs/telemetry.hpp) is strictly out-of-band: it reads list
+  // sizes the loop already computed and samples a monotonic clock, so the
+  // SimResult is bit-identical with or without it. Every telemetry statement
+  // below — including the clock samples — branches on this null check.
+  obs::RoundTelemetry* const telemetry = config_.telemetry;
+  if (telemetry) telemetry->begin_execution(n, shards);
+
   for (Round round = 1; round <= config_.max_rounds; ++round) {
     result.rounds_executed = round;
+    if (telemetry) telemetry->begin_round(round);
+    std::uint64_t phase_start = telemetry ? obs::monotonic_ns() : 0;
+    const auto end_phase = [&](obs::Phase phase) {
+      if (telemetry == nullptr) return;
+      const std::uint64_t now = obs::monotonic_ns();
+      telemetry->add_phase_ns(phase, now - phase_start);
+      phase_start = now;
+    };
 
     // --- Poll: only processes whose hint admits a send this round. ---
     due.clear();
-    calendar.take_due(round, due);
+    const std::size_t calendar_scanned = calendar.take_due(round, due);
     senders.clear();
     std::size_t deposit_work = 0;  // upper bound on this round's deliveries
     for (const NodeId v : due) {
@@ -434,6 +458,7 @@ SimResult Simulator::run() {
     // order, exactly like the reference engine's node scan.
     std::sort(senders.begin(), senders.end());
     result.total_sends += senders.size();
+    end_phase(obs::Phase::Poll);
 
     // Adversary chooses which unreliable links fire.
     AdversaryView view = AdversaryView::of(net_, result.process_of_node,
@@ -442,9 +467,10 @@ SimResult Simulator::run() {
     adversary_.choose_unreliable_reach(view, senders, sink);
     sink.seal();
     deposit_work += sink.total();
+    end_phase(obs::Phase::Adversary);
 
     RoundRecord record;
-    if (full_trace) record.round = round;
+    if (record_trace) record.round = round;
 
     const std::size_t noisy_before = noisy.size();
     const unsigned active =
@@ -512,7 +538,7 @@ SimResult Simulator::run() {
     } else {
       pool->run(propagate_shard);
     }
-    if (full_trace) {
+    if (record_trace) {
       // Sender records replay the same scan serially (reads only).
       for (std::size_t i = 0; i < senders.size(); ++i) {
         const NodeId u = senders[i];
@@ -526,6 +552,7 @@ SimResult Simulator::run() {
         record.senders.push_back(std::move(srec));
       }
     }
+    end_phase(obs::Phase::Propagate);
 
     // --- Receptions under the configured collision rule (touched only:
     // everyone else hears silence). CR4 collisions are resolved in a second
@@ -580,7 +607,7 @@ SimResult Simulator::run() {
     // round consume their reception through on_activate, so only nodes
     // noisy *before* this round's activations get the silence delivery
     // (they are partitioned by index, disjoint from every touched set). ---
-    if (full_trace) record.receptions.assign(un, kSilence);
+    if (record_trace) record.receptions.assign(un, kSilence);
     const auto deliver_shard = [&](unsigned w) {
       ShardState& s = shard[w];
       for (const NodeId v : s.touched) {
@@ -636,7 +663,7 @@ SimResult Simulator::run() {
             ++s.held_delta;
           }
         }
-        if (full_trace) record.receptions[uv] = std::move(rec);
+        if (record_trace) record.receptions[uv] = std::move(rec);
       }
       // Silence to this shard's slice of the pre-round noisy prefix.
       const std::size_t blo = noisy_before * w / active;
@@ -654,11 +681,13 @@ SimResult Simulator::run() {
     } else {
       pool->run(deliver_shard);
     }
+    end_phase(obs::Phase::Deliver);
 
     // --- Deterministic shard merge: calendar replans, newly-noisy nodes,
     // token counts — all applied in shard order. (Plan application order is
     // unobservable anyway: the calendar dedups by node, and polled actions
     // are sorted before the adversary sees them.) ---
+    std::size_t merge_replans = 0;
     for (unsigned w = 0; w < active; ++w) {
       const ShardState& s = shard[w];
       noisy.insert(noisy.end(), s.activated_noisy.begin(),
@@ -667,6 +696,11 @@ SimResult Simulator::run() {
                         s.newly_covered.end());
       for (const auto& [v, r] : s.plans) calendar.plan(v, r, round);
       held_count += s.held_delta;
+      if (telemetry) {
+        merge_replans += s.plans.size();
+        telemetry->add_shard_round(w, s.touched.size(), s.collided.size(),
+                                   s.plans.size());
+      }
     }
 
     // Round epilogue for stateful adversaries: this round's coverage delta,
@@ -675,8 +709,26 @@ SimResult Simulator::run() {
     std::sort(next_delta.begin(), next_delta.end());
     covered_delta.swap(next_delta);
     next_delta.clear();
+    end_phase(obs::Phase::ShardMerge);
     view.newly_covered = covered_delta;
     adversary_.on_round_end(view);
+    end_phase(obs::Phase::Adversary);
+
+    if (telemetry) {
+      obs::RoundCounters& c = telemetry->counters();
+      c.polled = due.size();
+      c.senders = senders.size();
+      // Each deposit call lands on exactly one node of exactly one shard, so
+      // the poll loop's work estimate IS the delivery count: per sender
+      // 1 (self) + |reliable row| + |adversary extras|.
+      c.deliveries = deposit_work;
+      c.collisions = collision_events;
+      c.calendar_scanned = calendar_scanned;
+      c.replans = due.size() + merge_replans;
+      c.reach_appends = sink.total();
+      c.newly_covered = covered_delta.size();
+      telemetry->end_round();
+    }
 
     if (counted_trace) {
       result.trace.senders_per_round.push_back(
@@ -686,7 +738,11 @@ SimResult Simulator::run() {
       result.trace.record_bounded_round(
           round, static_cast<std::uint32_t>(senders.size()), collision_events);
     }
-    if (full_trace) result.trace.rounds.push_back(std::move(record));
+    if (full_trace) {
+      result.trace.rounds.push_back(std::move(record));
+    } else if (compressed_trace) {
+      result.trace.append_compressed(record);
+    }
 
     for (const NodeId v : senders) is_sender[static_cast<std::size_t>(v)] = 0;
 
@@ -696,6 +752,8 @@ SimResult Simulator::run() {
       if (config_.stop_on_completion) break;
     }
   }
+
+  if (telemetry) telemetry->end_execution();
 
   result.first_token = result.token_first.front();
   for (NodeId v = 0; v < n; ++v) {

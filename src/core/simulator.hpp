@@ -35,6 +35,10 @@
 
 namespace dualrad {
 
+namespace obs {
+class RoundTelemetry;
+}  // namespace obs
+
 struct SimConfig {
   CollisionRule rule = CollisionRule::CR4;
   StartRule start = StartRule::Asynchronous;
@@ -58,6 +62,13 @@ struct SimConfig {
   /// environment before round 1). Empty means the classic single-message
   /// problem: kBroadcastToken originates at net.source().
   std::vector<NodeId> token_sources{};
+  /// Optional telemetry sink (obs/telemetry.hpp): per-round hot-path
+  /// counters, monotonic phase timers, and per-shard sub-counters. Strictly
+  /// out-of-band — the SimResult is bit-identical whether or not telemetry
+  /// is attached — and compiled to branch-on-null no-ops when nullptr, so
+  /// the disabled overhead is a handful of predicted branches per round.
+  /// The object must outlive the run; both engines support it.
+  obs::RoundTelemetry* telemetry = nullptr;
 };
 
 /// One collected Process::final_metrics entry (node identifies the slot,

@@ -15,10 +15,21 @@
 /// buffer holds the counters of the last `SimConfig::trace_window` rounds and
 /// everything older is folded into streamed aggregates, so memory is
 /// O(window) no matter how long the execution runs.
+///
+/// `Compressed` keeps the *complete* audit-grade history of `Full`, but
+/// delta/varint-encoded into one byte blob: sender and toucher node ids are
+/// stored as deltas off the previous id (both lists are ascending), reach
+/// lists as zigzag deltas, and silence receptions — the overwhelming
+/// majority at sparse densities — are omitted entirely because silence is
+/// the decode default. Decoding a round reproduces the `Full`-mode
+/// RoundRecord *exactly* (value-equal, pinned in tests), so audits consume
+/// either level transparently; memory scales with arrivals, not with
+/// nodes x rounds, which is what lets audits run past 10^4 nodes inside the
+/// CI memory gate.
 
 namespace dualrad {
 
-enum class TraceLevel : std::uint8_t { None, Counts, Full, Bounded };
+enum class TraceLevel : std::uint8_t { None, Counts, Full, Bounded, Compressed };
 
 struct SenderRecord {
   NodeId node = kInvalidNode;
@@ -103,6 +114,25 @@ struct Trace {
     DUALRAD_REQUIRE(in_window(r), "round not in the Bounded trace window");
     return ring_collisions[static_cast<std::size_t>(r - 1) % window];
   }
+
+  /// Compressed mode: delta/varint-encoded round records, one byte range per
+  /// round. `blob_offsets[i]` is where round i's encoding starts (its end is
+  /// the next offset, or blob.size() for the last round). Both engines build
+  /// the same scratch RoundRecord as Full mode and encode through
+  /// append_compressed, so the blob is bit-identical across engines and
+  /// thread counts.
+  std::vector<std::uint8_t> blob{};
+  std::vector<std::uint64_t> blob_offsets{};
+
+  [[nodiscard]] std::size_t compressed_rounds() const {
+    return blob_offsets.size();
+  }
+  /// Encode one round record onto the blob (Compressed mode).
+  void append_compressed(const RoundRecord& record);
+  /// Decode round `index` (0-based) into `out`. `n` sizes out.receptions;
+  /// nodes without an encoded reception decode to silence. The result is
+  /// value-equal to the RoundRecord Full mode would have stored.
+  void decode_compressed(std::size_t index, NodeId n, RoundRecord& out) const;
 };
 
 }  // namespace dualrad

@@ -1,0 +1,59 @@
+#include "obs/rss.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace dualrad::obs {
+
+namespace {
+
+/// Parse a "Vm...: <kB> kB" line from /proc/self/status; 0 if absent.
+std::uint64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+std::uint64_t peak_rss_bytes() {
+  const std::uint64_t hwm = proc_status_kb("VmHWM") * 1024;
+  if (hwm != 0) return hwm;
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+}
+
+bool reset_peak() {
+#if defined(__GLIBC__)
+  // Return freed arena pages to the OS first: clear_refs resets VmHWM to
+  // the *current* RSS, so heap the allocator retains from earlier work
+  // would otherwise leak into every later measurement's floor.
+  malloc_trim(0);
+#endif
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace dualrad::obs

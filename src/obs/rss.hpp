@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rss.hpp
+/// Process resident-set-size sampling for the telemetry layer, the campaign
+/// heartbeat, and the benches.
+///
+/// Linux's `getrusage` peak (`ru_maxrss`) is a process-lifetime high-water
+/// mark: a bench that measures several scenarios in one process sees later
+/// rows inherit earlier scenarios' peaks. The kernel *does* expose a
+/// resettable peak: writing "5" to /proc/self/clear_refs resets the mm
+/// high-water counters, after which /proc/self/status VmHWM reports the peak
+/// since the reset. `reset_peak()` + `peak_rss_bytes()` implement that
+/// per-measurement "delta mode"; when /proc is unavailable the functions
+/// degrade to the monotone getrusage value (reset_peak returns false so
+/// callers can annotate their output).
+
+namespace dualrad::obs {
+
+/// Current resident set size in bytes (VmRSS; 0 if unavailable).
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+/// Peak resident set size in bytes since process start — or since the last
+/// successful reset_peak() (VmHWM, falling back to ru_maxrss).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Reset the kernel's RSS high-water mark (echo 5 > /proc/self/clear_refs),
+/// first trimming freed allocator arenas back to the OS (glibc) so the new
+/// watermark starts from the live footprint rather than retained heap.
+/// Returns true on success; false means peak_rss_bytes() stays monotone.
+bool reset_peak();
+
+[[nodiscard]] inline double current_rss_mb() {
+  return static_cast<double>(current_rss_bytes()) / (1024.0 * 1024.0);
+}
+[[nodiscard]] inline double peak_rss_mb() {
+  return static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+
+}  // namespace dualrad::obs

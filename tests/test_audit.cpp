@@ -47,6 +47,34 @@ TEST(Audit, StrongSelectPasses) {
   EXPECT_TRUE(audit::audit_execution(net, result, CollisionRule::CR4).ok);
 }
 
+TEST(Audit, CompressedTraceAuditsTransparently) {
+  // TraceLevel::Compressed decodes to the exact Full-mode records, so the
+  // audit accepts it unchanged — same pass on clean executions, same
+  // violation detection on forged results.
+  const DualGraph net = duals::gray_zone({.n = 32, .seed = 6});
+  for (CollisionRule rule :
+       {CollisionRule::CR1, CollisionRule::CR3, CollisionRule::CR4}) {
+    GreedyBlockerAdversary adversary;
+    SimConfig config;
+    config.rule = rule;
+    config.max_rounds = 2'000'000;
+    config.trace = TraceLevel::Compressed;
+    SimResult result = run_broadcast(
+        net, make_harmonic_factory(net.node_count()), adversary, config);
+    EXPECT_TRUE(result.trace.rounds.empty());
+    EXPECT_GT(result.trace.compressed_rounds(), 0u);
+    const auto report = audit::audit_execution(net, result, rule);
+    EXPECT_TRUE(report.ok) << to_string(rule) << ": "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+    // A forged coverage claim is still caught through the compressed trace.
+    result.first_token[1] = 1;
+    result.token_first[0][1] = 1;
+    EXPECT_FALSE(audit::audit_execution(net, result, rule).ok);
+  }
+}
+
 TEST(Audit, RequiresFullTrace) {
   const DualGraph net = duals::bridge_network(8);
   BenignAdversary adversary;

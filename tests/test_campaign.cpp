@@ -419,6 +419,75 @@ TEST(CampaignEngine, WallTimeMeasuredOnlyOnRequest) {
   EXPECT_EQ(trials_to_csv(timed.trials), trials_to_csv(untimed.trials));
 }
 
+TEST(CampaignExport, TelemetryRowsRoundTripThroughJsonl) {
+  CampaignConfig config;
+  config.collect_telemetry = true;
+  const CampaignResult result = run_campaign(cheap_campaign(), config);
+  ASSERT_EQ(result.telemetry.size(), result.trials.size());
+  // Every row carries wall time and mirrors its trial's aggregates.
+  for (std::size_t i = 0; i < result.telemetry.size(); ++i) {
+    const TelemetryRow& row = result.telemetry[i];
+    EXPECT_EQ(row.scenario, result.trials[i].scenario);
+    EXPECT_EQ(row.trial, result.trials[i].trial);
+    EXPECT_GE(row.wall_us, 0);
+    EXPECT_EQ(row.senders,
+              static_cast<std::uint64_t>(result.trials[i].sends));
+    EXPECT_EQ(row.collisions,
+              static_cast<std::uint64_t>(result.trials[i].collisions));
+  }
+  const std::string jsonl = telemetry_to_jsonl(result.telemetry);
+  EXPECT_EQ(telemetry_from_jsonl(jsonl), result.telemetry);
+}
+
+TEST(CampaignExport, TelemetryParserAcceptsLegacyTimingOnlyRows) {
+  // Rows written by a plain wall-time export (no counter columns) still
+  // parse; the missing counters default to zero.
+  const std::vector<TelemetryRow> rows = telemetry_from_jsonl(
+      "{\"scenario\":\"old/timed\",\"trial\":3,\"wall_us\":4200}\n"
+      "{\"scenario\":\"old/untimed\",\"trial\":0}\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].scenario, "old/timed");
+  EXPECT_EQ(rows[0].trial, 3u);
+  EXPECT_EQ(rows[0].wall_us, 4200);
+  EXPECT_EQ(rows[0].deliveries, 0u);
+  EXPECT_EQ(rows[0].poll_ns, 0u);
+  EXPECT_EQ(rows[1].wall_us, -1);
+  EXPECT_THROW((void)telemetry_from_jsonl("{\"trial\":0}\n"),
+               std::invalid_argument);
+}
+
+TEST(CampaignEngine, TelemetryCollectionKeepsDefaultExportsByteIdentical) {
+  // Telemetry, like wall time, lives OUTSIDE the determinism contract: the
+  // canonical trial/summary exports of an instrumented run match an
+  // uninstrumented run byte for byte.
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  CampaignConfig off;
+  off.master_seed = 77;
+  const CampaignResult plain = run_campaign(scenarios, off);
+  EXPECT_TRUE(plain.telemetry.empty());
+
+  CampaignConfig on;
+  on.master_seed = 77;
+  on.collect_telemetry = true;
+  on.threads = 4;
+  const CampaignResult instrumented = run_campaign(scenarios, on);
+  EXPECT_EQ(trials_to_jsonl(instrumented.trials),
+            trials_to_jsonl(plain.trials));
+  EXPECT_EQ(trials_to_csv(instrumented.trials), trials_to_csv(plain.trials));
+  EXPECT_EQ(summaries_to_jsonl(instrumented.summaries),
+            summaries_to_jsonl(plain.summaries));
+}
+
+TEST(CampaignEngine, HeartbeatCampaignRunsClean) {
+  // A sub-second campaign with a long heartbeat period: the reporter thread
+  // must start, idle, and shut down without emitting or deadlocking.
+  CampaignConfig config;
+  config.heartbeat_secs = 3600;
+  config.threads = 2;
+  const CampaignResult result = run_campaign(cheap_campaign(), config);
+  EXPECT_EQ(result.trials.size(), 10u);
+}
+
 TEST(CampaignExport, SummariesSerializeFailuresAsMinusOne) {
   ScenarioSummary all_failed;
   all_failed.scenario = "test/all-failed";

@@ -24,6 +24,7 @@
 #include "graph/dual_builders.hpp"
 #include "graph/generators.hpp"
 #include "mac/bmmb.hpp"
+#include "obs/telemetry.hpp"
 
 /// The sparse CSR engine (run_broadcast) must be *bit-identical* to the
 /// dense reference engine (run_broadcast_reference) — same SimResult down to
@@ -56,6 +57,8 @@ void expect_identical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.trace.ring_senders, b.trace.ring_senders) << label;
   EXPECT_EQ(a.trace.ring_collisions, b.trace.ring_collisions) << label;
   EXPECT_EQ(a.trace.agg, b.trace.agg) << label;
+  EXPECT_EQ(a.trace.blob, b.trace.blob) << label;
+  EXPECT_EQ(a.trace.blob_offsets, b.trace.blob_offsets) << label;
   ASSERT_EQ(a.trace.rounds.size(), b.trace.rounds.size()) << label;
   for (std::size_t r = 0; r < a.trace.rounds.size(); ++r) {
     const RoundRecord& ra = a.trace.rounds[r];
@@ -394,6 +397,97 @@ TEST(EngineEquivalence, BuiltinCampaignGridIsBitIdentical) {
     ++checked;
   }
   EXPECT_GE(checked, 20u);
+}
+
+TEST(EngineEquivalence, TelemetryDoesNotPerturbResults) {
+  // The telemetry layer is strictly out-of-band: attaching an
+  // obs::RoundTelemetry must leave the SimResult bit-identical — both
+  // engines, serial and sharded (threads in {1, 2, 4}), with a full trace so
+  // any perturbation anywhere in delivery or accounting would surface.
+  const DualGraph net = duals::gray_zone({.n = 40, .seed = 9});
+  const ProcessFactory factory = make_decay_factory(net.node_count());
+  const auto adversary =
+      campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.5);
+  for (const CollisionRule rule : {CollisionRule::CR2, CollisionRule::CR4}) {
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      SimConfig config;
+      config.rule = rule;
+      config.start = StartRule::Asynchronous;
+      config.max_rounds = 30'000;
+      config.seed = 4242;
+      config.trace = TraceLevel::Full;
+      config.threads = threads;
+      const auto adv_off = adversary(mix_seed(config.seed, 0xAD));
+      const SimResult off = run_broadcast(net, factory, *adv_off, config);
+
+      obs::RoundTelemetry telemetry(8);
+      config.telemetry = &telemetry;
+      const auto adv_on = adversary(mix_seed(config.seed, 0xAD));
+      const SimResult on = run_broadcast(net, factory, *adv_on, config);
+      const std::string label = "telemetry/" + std::string(to_string(rule)) +
+                                "/threads=" + std::to_string(threads);
+      expect_identical(on, off, label);
+      EXPECT_EQ(telemetry.rounds_recorded(), off.rounds_executed) << label;
+
+      const auto adv_ref = adversary(mix_seed(config.seed, 0xAD));
+      obs::RoundTelemetry ref_telemetry(8);
+      SimConfig ref_config = config;
+      ref_config.telemetry = &ref_telemetry;
+      const SimResult ref =
+          run_broadcast_reference(net, factory, *adv_ref, ref_config);
+      expect_identical(ref, off, label + "/reference");
+    }
+  }
+}
+
+TEST(EngineEquivalence, CompressedTraceDecodesToFullTrace) {
+  // TraceLevel::Compressed must store the exact same per-round records as
+  // Full, only delta/varint-encoded: decoding round i yields a value-equal
+  // RoundRecord, and the encoded blob is bit-identical across engines and
+  // thread counts (expect_identical covers the blob on the compressed runs).
+  const DualGraph net = duals::gray_zone({.n = 40, .seed = 9});
+  const ProcessFactory factory = make_decay_factory(net.node_count());
+  const auto adversary =
+      campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.4);
+  for (const CollisionRule rule :
+       {CollisionRule::CR1, CollisionRule::CR2, CollisionRule::CR4}) {
+    SimConfig config;
+    config.rule = rule;
+    config.start = StartRule::Asynchronous;
+    config.max_rounds = 30'000;
+    config.seed = 99;
+    config.trace = TraceLevel::Full;
+    const auto adv_full = adversary(mix_seed(config.seed, 0xAD));
+    const SimResult full = run_broadcast(net, factory, *adv_full, config);
+
+    config.trace = TraceLevel::Compressed;
+    const auto adv_comp = adversary(mix_seed(config.seed, 0xAD));
+    const SimResult compressed = run_broadcast(net, factory, *adv_comp, config);
+    const std::string label = "compressed/" + std::string(to_string(rule));
+
+    EXPECT_TRUE(compressed.trace.rounds.empty()) << label;
+    ASSERT_EQ(compressed.trace.compressed_rounds(), full.trace.rounds.size())
+        << label;
+    RoundRecord decoded;
+    for (std::size_t i = 0; i < full.trace.rounds.size(); ++i) {
+      compressed.trace.decode_compressed(i, net.node_count(), decoded);
+      const RoundRecord& want = full.trace.rounds[i];
+      EXPECT_EQ(decoded.round, want.round) << label;
+      EXPECT_EQ(decoded.receptions, want.receptions) << label;
+      ASSERT_EQ(decoded.senders.size(), want.senders.size()) << label;
+      for (std::size_t s = 0; s < want.senders.size(); ++s) {
+        EXPECT_EQ(decoded.senders[s].node, want.senders[s].node) << label;
+        EXPECT_EQ(decoded.senders[s].message, want.senders[s].message) << label;
+        EXPECT_EQ(decoded.senders[s].reached, want.senders[s].reached) << label;
+      }
+    }
+    // Compressed counts mirror Full's per-round counters.
+    EXPECT_EQ(compressed.trace.senders_per_round, full.trace.senders_per_round)
+        << label;
+
+    // Cross-engine and cross-thread-count: blobs bit-identical.
+    run_both(net, factory, adversary, config, label);
+  }
 }
 
 }  // namespace

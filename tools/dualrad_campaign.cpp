@@ -20,7 +20,10 @@
 #include "campaign/builtin_scenarios.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/export.hpp"
+#include "core/rng.hpp"
 #include "mac/mac_latency.hpp"
+#include "obs/perfetto_writer.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -42,6 +45,10 @@ struct Options {
   std::string summary_jsonl_path;
   std::string summary_csv_path;
   std::string mac_jsonl_path;
+  std::string telemetry_jsonl_path;
+  std::string perfetto_path;
+  std::string perfetto_scenario;
+  unsigned heartbeat_secs = 0;
 };
 
 void usage() {
@@ -67,6 +74,17 @@ void usage() {
       "  --timing            measure per-trial wall time and include it in\n"
       "                      trial/summary exports (wall_us / mean_wall_ms;\n"
       "                      timed exports are NOT byte-reproducible)\n"
+      "  --telemetry-jsonl=PATH  attach the engine telemetry layer to every\n"
+      "                      trial and write per-trial phase times + counter\n"
+      "                      totals as JSONL. Opt-in; the default exports\n"
+      "                      above stay byte-identical either way\n"
+      "  --heartbeat=SECS    print a progress line to stderr every SECS\n"
+      "                      seconds (trials done/total, rounds/s, eta, rss)\n"
+      "  --perfetto=PATH     after the campaign, deterministically re-run one\n"
+      "                      trial (trial 0 of --perfetto-scenario, default\n"
+      "                      the first matching scenario) with telemetry and\n"
+      "                      write a Chrome/Perfetto trace (ui.perfetto.dev)\n"
+      "  --perfetto-scenario=NAME  scenario to trace (see --perfetto)\n"
       "  --quiet             suppress the summary table on stdout\n");
 }
 
@@ -89,6 +107,14 @@ std::optional<Options> parse(int argc, char** argv) try {
       options.timing = true;
     } else if (auto v = value("--mac-jsonl=")) {
       options.mac_jsonl_path = *v;
+    } else if (auto v = value("--telemetry-jsonl=")) {
+      options.telemetry_jsonl_path = *v;
+    } else if (auto v = value("--heartbeat=")) {
+      options.heartbeat_secs = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--perfetto-scenario=")) {
+      options.perfetto_scenario = *v;
+    } else if (auto v = value("--perfetto=")) {
+      options.perfetto_path = *v;
     } else if (auto v = value("--filter=")) {
       options.filter = *v;
     } else if (auto v = value("--seed=")) {
@@ -176,6 +202,38 @@ std::string mac_rows_to_jsonl(const std::vector<mac::TrialLatencyRow>& rows) {
   return out;
 }
 
+// Deterministically re-run one trial with telemetry attached and write a
+// Chrome/Perfetto trace. Mirrors the engine's per-trial setup exactly
+// (trial_seed, mix_seed(seed, 0xAD) adversary), so the traced execution is
+// the same one the campaign ran.
+void write_perfetto_for(const campaign::Scenario& scenario,
+                        std::uint64_t master_seed, unsigned threads_per_trial,
+                        const std::string& path) {
+  const DualGraph net = scenario.network();
+  const ProcessFactory factory = scenario.algorithm(net);
+  const std::uint64_t seed = campaign::trial_seed(master_seed, scenario.name, 0);
+  const std::unique_ptr<Adversary> adversary =
+      scenario.adversary(mix_seed(seed, 0xAD));
+
+  SimConfig sim;
+  sim.rule = scenario.rule;
+  sim.start = scenario.start;
+  sim.max_rounds = scenario.max_rounds;
+  sim.seed = seed;
+  sim.token_sources = scenario.token_sources;
+  sim.threads = threads_per_trial;
+  obs::RoundTelemetry telemetry;  // default window: last 4096 rounds
+  sim.telemetry = &telemetry;
+  if (scenario.runner) {
+    (void)scenario.runner(net, factory, *adversary, sim);
+  } else {
+    (void)run_broadcast(net, factory, *adversary, sim);
+  }
+  obs::write_perfetto_trace(telemetry, path, scenario.name);
+  std::fprintf(stderr, "[campaign] perfetto trace of %s trial 0 -> %s\n",
+               scenario.name.c_str(), path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +267,8 @@ int main(int argc, char** argv) {
     config.threads_per_trial = options.threads_per_trial;
     config.trials_override = options.trials;
     config.measure_wall_time = options.timing;
+    config.collect_telemetry = !options.telemetry_jsonl_path.empty();
+    config.heartbeat_secs = options.heartbeat_secs;
 
     // --mac-jsonl: measure f_ack / f_prog per trial from the full SimResult
     // (progress latency is meaningful for any broadcast scenario; the ack
@@ -245,6 +305,26 @@ int main(int argc, char** argv) {
     if (collector.has_value()) {
       campaign::write_file(options.mac_jsonl_path,
                            mac_rows_to_jsonl(collector->sorted_rows()));
+    }
+    if (!options.telemetry_jsonl_path.empty()) {
+      campaign::write_file(options.telemetry_jsonl_path,
+                           campaign::telemetry_to_jsonl(result.telemetry));
+    }
+    if (!options.perfetto_path.empty()) {
+      const campaign::Scenario* traced = &scenarios.front();
+      if (!options.perfetto_scenario.empty()) {
+        traced = nullptr;
+        for (const campaign::Scenario& s : scenarios) {
+          if (s.name == options.perfetto_scenario) traced = &s;
+        }
+        if (traced == nullptr) {
+          std::fprintf(stderr, "--perfetto-scenario '%s' matches no scenario\n",
+                       options.perfetto_scenario.c_str());
+          return 1;
+        }
+      }
+      write_perfetto_for(*traced, options.seed, options.threads_per_trial,
+                         options.perfetto_path);
     }
     if (!options.quiet) print_summaries(result, options.timing);
     return 0;
