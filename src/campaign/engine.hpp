@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "campaign/scenario.hpp"
@@ -97,6 +99,11 @@ struct CampaignResult {
   /// Telemetry rows, same order as `trials`; empty unless
   /// CampaignConfig::collect_telemetry was set.
   std::vector<TelemetryRow> telemetry;
+  /// True iff the run stopped early on CampaignConfig::cancel. Rows of
+  /// trials that never ran are default-constructed (empty scenario name) and
+  /// `summaries` is left empty — a cancelled result is only good for
+  /// inspecting which trials completed (e.g. via a checkpoint journal).
+  bool cancelled = false;
 };
 
 struct CampaignConfig {
@@ -132,7 +139,84 @@ struct CampaignConfig {
   std::function<void(const Scenario& scenario, const TrialRow& row,
                      const SimResult& result)>
       observer;
+  /// Optional per-trial completion sink, serialized like `observer`. Unlike
+  /// the observer it receives export-ready rows only — this is the hook the
+  /// checkpoint journal and the serve-mode result stream hang off.
+  /// `telemetry` is nullptr unless collect_telemetry is set. Not called for
+  /// trials satisfied from `resume_rows` (they are already journaled).
+  std::function<void(const TrialRow& row, const TelemetryRow* telemetry)>
+      row_sink;
+  /// Cooperative cancellation (e.g. from a SIGINT handler): when the pointee
+  /// becomes true, workers stop claiming new trials, in-flight trials finish
+  /// and reach `row_sink`, and run_campaign returns with
+  /// CampaignResult::cancelled set instead of computing summaries.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Checkpoint/resume: rows of already-completed trials (typically loaded
+  /// from a serve/checkpoint journal). Matching (scenario, trial) jobs are
+  /// satisfied from here verbatim instead of re-running; each row's seed
+  /// must equal the engine's derived trial seed (throws std::invalid_argument
+  /// otherwise — the journal belongs to a different master seed or grid).
+  /// Combined with the deterministic seed streams this makes a resumed
+  /// campaign's exports byte-identical to an uninterrupted run.
+  const std::vector<TrialRow>* resume_rows = nullptr;
 };
+
+/// Per-trial execution options of TrialExecutor (the serve-mode work-unit
+/// runner). Mirrors the corresponding CampaignConfig fields.
+struct TrialOptions {
+  unsigned threads_per_trial = 1;
+  bool measure_wall_time = false;
+  bool collect_telemetry = false;
+};
+
+/// One scenario prepared for individually-addressed trial execution: the
+/// network and process factory are built once (eagerly, validating the
+/// builders), then (master_seed, trial index) -> TrialRow is a pure
+/// function — the exact function the batch engine computes, so a trial run
+/// here is byte-identical to the same trial inside run_campaign. This is the
+/// library API the serve-mode worker pool drives; run() is const and
+/// thread-safe.
+class TrialExecutor {
+ public:
+  /// Copies the scenario spec (cheap: a handful of std::functions), builds
+  /// the network and factory. Throws std::invalid_argument on unset builders
+  /// or a null factory.
+  TrialExecutor(const Scenario& scenario, std::uint64_t master_seed);
+
+  struct Outcome {
+    TrialRow row;
+    /// Filled only when TrialOptions::collect_telemetry was set.
+    TelemetryRow telemetry;
+    /// The full simulation result (for observers / audits).
+    SimResult sim;
+  };
+
+  [[nodiscard]] Outcome run(std::uint32_t trial,
+                            const TrialOptions& options = {}) const;
+
+  [[nodiscard]] const Scenario& scenario() const { return spec_; }
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  Scenario spec_;
+  std::uint64_t master_seed_ = 0;
+  std::uint64_t stream_ = 0;
+  DualGraph net_;
+  ProcessFactory factory_;
+};
+
+/// The campaign grid shape: (scenario name, trial count) in registration
+/// order. Row `i` of a flat trial vector belongs to the grid slot obtained
+/// by walking the counts in order.
+using CampaignGrid = std::vector<std::pair<std::string, std::size_t>>;
+
+/// Per-scenario summaries of a flat, grid-ordered row vector — the summary
+/// half of run_campaign, shared with the serve-mode coordinator so a
+/// distributed campaign summarizes byte-identically to a batch run. `timed`
+/// fills mean_wall_ms (from TrialRow::wall_us). Throws std::invalid_argument
+/// if rows.size() differs from the grid total.
+[[nodiscard]] std::vector<ScenarioSummary> summarize_trials(
+    const std::vector<TrialRow>& rows, const CampaignGrid& grid, bool timed);
 
 /// Seed stream of a scenario under a master seed: mixes the master with an
 /// FNV-1a hash of the name, so a scenario's trials are independent of which

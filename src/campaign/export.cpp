@@ -7,11 +7,17 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "campaign/jsonl.hpp"
 #include "campaign/registry.hpp"
 
 namespace dualrad::campaign {
 
 namespace {
+
+using jsonl::field;
+using jsonl::field_opt;
+using jsonl::to_ll;
+using jsonl::to_u64;
 
 [[nodiscard]] std::string fmt_double(double v) {
   char buf[64];
@@ -25,51 +31,6 @@ namespace {
 void require_exportable(const std::string& name) {
   DUALRAD_REQUIRE(is_valid_scenario_name(name),
                   "scenario name not exportable: " + name);
-}
-
-[[nodiscard]] std::optional<std::string_view> field_opt(std::string_view line,
-                                                        std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string_view::npos) return std::nullopt;
-  std::size_t begin = at + needle.size();
-  std::size_t end = begin;
-  if (begin < line.size() && line[begin] == '"') {
-    ++begin;
-    end = line.find('"', begin);
-    DUALRAD_REQUIRE(end != std::string_view::npos,
-                    "unterminated string in JSONL line");
-  } else {
-    end = line.find_first_of(",}", begin);
-    DUALRAD_REQUIRE(end != std::string_view::npos, "malformed JSONL line");
-  }
-  return line.substr(begin, end - begin);
-}
-
-[[nodiscard]] std::string_view field(std::string_view line,
-                                     std::string_view key) {
-  const std::optional<std::string_view> value = field_opt(line, key);
-  DUALRAD_REQUIRE(value.has_value(),
-                  "JSONL line missing key '" + std::string(key) + "'");
-  return *value;
-}
-
-[[nodiscard]] long long to_ll(std::string_view s) {
-  try {
-    return std::stoll(std::string(s));
-  } catch (const std::exception&) {
-    throw std::invalid_argument("dualrad: non-numeric field: " +
-                                std::string(s));
-  }
-}
-
-[[nodiscard]] std::uint64_t to_u64(std::string_view s) {
-  try {
-    return std::stoull(std::string(s));
-  } catch (const std::exception&) {
-    throw std::invalid_argument("dualrad: non-numeric field: " +
-                                std::string(s));
-  }
 }
 
 [[nodiscard]] std::vector<std::string> split(const std::string& line,
@@ -185,7 +146,7 @@ std::vector<TrialRow> trials_from_jsonl(const std::string& text) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    DUALRAD_REQUIRE(line.back() == '}', "truncated JSONL line: " + line);
+    jsonl::require_flat_object(line);
     TrialRow r;
     r.scenario = std::string(field(line, "scenario"));
     r.trial = static_cast<std::uint32_t>(to_u64(field(line, "trial")));
@@ -284,7 +245,7 @@ std::vector<TelemetryRow> telemetry_from_jsonl(const std::string& text) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    DUALRAD_REQUIRE(line.back() == '}', "truncated JSONL line: " + line);
+    jsonl::require_flat_object(line);
     TelemetryRow r;
     r.scenario = std::string(field(line, "scenario"));
     r.trial = static_cast<std::uint32_t>(to_u64(field(line, "trial")));

@@ -1,0 +1,32 @@
+#include "obs/heartbeat.hpp"
+
+#include <utility>
+
+namespace dualrad::obs {
+
+void Heartbeat::start(std::chrono::milliseconds period,
+                      std::function<void()> tick) {
+  if (thread_.joinable() || period.count() <= 0 || !tick) return;
+  stop_ = false;
+  thread_ = std::thread([this, period, tick = std::move(tick)] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+      // Tick outside the lock so a slow callback never delays stop().
+      lock.unlock();
+      tick();
+      lock.lock();
+    }
+  });
+}
+
+void Heartbeat::stop() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+}
+
+}  // namespace dualrad::obs

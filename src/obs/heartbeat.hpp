@@ -1,0 +1,46 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+/// \file heartbeat.hpp
+/// A reusable periodic background reporter.
+///
+/// Owns one thread that invokes a callback every `period` until stop().
+/// The wait is a condition-variable wait, not a sleep, so stop() takes
+/// effect immediately: a job that finishes after 50 ms never pays out a
+/// 60 s heartbeat interval at shutdown. Used by the campaign engine's
+/// progress heartbeat and the serve-mode coordinator's status stream.
+
+namespace dualrad::obs {
+
+class Heartbeat {
+ public:
+  Heartbeat() = default;
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+  ~Heartbeat() { stop(); }
+
+  /// Start ticking: `tick` runs on the reporter thread every `period`,
+  /// first invocation one full period after start(). No-op if already
+  /// running or period is non-positive.
+  void start(std::chrono::milliseconds period, std::function<void()> tick);
+
+  /// Stop promptly (without waiting out the current period) and join.
+  /// Idempotent; safe to call when never started. The callback is never
+  /// invoked again after stop() returns.
+  void stop();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dualrad::obs

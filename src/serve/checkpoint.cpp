@@ -1,0 +1,161 @@
+#include "serve/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "campaign/export.hpp"
+#include "serve/wire.hpp"
+
+namespace dualrad::serve {
+
+namespace {
+
+[[nodiscard]] std::string crc_hex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+/// Parse "xxxxxxxx <json>"; returns the json part or nullopt if the line is
+/// structurally broken or fails its CRC.
+[[nodiscard]] std::optional<std::string_view> check_line(
+    std::string_view line) {
+  if (line.size() < 10 || line[8] != ' ') return std::nullopt;
+  for (int i = 0; i < 8; ++i) {
+    const char c = line[static_cast<std::size_t>(i)];
+    const bool hex =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return std::nullopt;
+  }
+  const std::string_view json = line.substr(9);
+  if (crc_hex(crc32(json)) != line.substr(0, 8)) return std::nullopt;
+  return json;
+}
+
+}  // namespace
+
+std::string journal_line(const campaign::TrialRow& row) {
+  // Canonical untimed row: wall time is outside the determinism contract,
+  // so journals stay byte-comparable across reruns and machines.
+  std::string json = campaign::trials_to_jsonl({row});
+  DUALRAD_CHECK(!json.empty() && json.back() == '\n',
+                "trials_to_jsonl emitted no line");
+  json.pop_back();
+  return crc_hex(crc32(json)) + " " + json + "\n";
+}
+
+JournalLoad parse_journal(const std::string& text) {
+  JournalLoad load;
+  load.valid_bytes = text.size();
+  std::map<std::pair<std::string, std::uint32_t>, std::string> seen;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const std::size_t nl = text.find('\n', begin);
+    const bool complete = nl != std::string::npos;
+    const std::string_view line(text.data() + begin,
+                                (complete ? nl : text.size()) - begin);
+    const std::size_t next = complete ? nl + 1 : text.size();
+    const bool is_last = next >= text.size();
+    if (line.empty()) {
+      begin = next;
+      continue;
+    }
+    const std::optional<std::string_view> json = check_line(line);
+    if (!json.has_value() || !complete) {
+      // Only the final line may be torn (whole-line O_APPEND writes); any
+      // earlier damage means the file itself is corrupt.
+      if (is_last) {
+        ++load.dropped_torn_tail;
+        load.valid_bytes = begin;
+        break;
+      }
+      throw std::invalid_argument(
+          "dualrad: corrupt journal line (not at tail): " + std::string(line));
+    }
+    std::vector<campaign::TrialRow> parsed =
+        campaign::trials_from_jsonl(std::string(*json) + "\n");
+    DUALRAD_REQUIRE(parsed.size() == 1, "journal line is not one row");
+    campaign::TrialRow row = std::move(parsed.front());
+    const auto key = std::make_pair(row.scenario, row.trial);
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      // At-least-once journaling: byte-identical replays dedupe, conflicting
+      // rows for one trial violate the determinism contract.
+      if (it->second == *json) {
+        ++load.duplicates;
+      } else {
+        throw std::invalid_argument(
+            "dualrad: conflicting journal rows for " + row.scenario + "#" +
+            std::to_string(row.trial));
+      }
+    } else {
+      seen.emplace(key, std::string(*json));
+      load.rows.push_back(std::move(row));
+    }
+    begin = next;
+  }
+  return load;
+}
+
+JournalLoad load_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dualrad: cannot open journal " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_journal(text.str());
+}
+
+void truncate_torn_tail(const std::string& path, const JournalLoad& load) {
+  if (load.dropped_torn_tail == 0) return;
+  if (::truncate(path.c_str(), static_cast<off_t>(load.valid_bytes)) != 0) {
+    throw std::runtime_error("dualrad: cannot truncate torn journal tail in " +
+                             path + ": " + std::strerror(errno));
+  }
+}
+
+void JournalWriter::open(const std::string& path, bool fsync_each) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("dualrad: cannot open journal " + path + ": " +
+                             std::strerror(errno));
+  }
+  fsync_each_ = fsync_each;
+}
+
+void JournalWriter::append(const campaign::TrialRow& row) {
+  DUALRAD_CHECK(fd_ >= 0, "journal writer not open");
+  const std::string line = journal_line(row);
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("dualrad: journal write failed: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (fsync_each_) (void)::fsync(fd_);
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dualrad::serve

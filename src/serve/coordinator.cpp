@@ -1,0 +1,280 @@
+#include "serve/coordinator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/export.hpp"
+
+namespace dualrad::serve {
+
+Coordinator::Coordinator(Config config) : config_(std::move(config)) {
+  DUALRAD_REQUIRE(config_.lease_secs > 0.0, "lease_secs must be positive");
+}
+
+void Coordinator::configure_campaign(std::uint64_t master_seed,
+                                     std::size_t trials_override) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  DUALRAD_REQUIRE(!loaded_ || committed_ == rows_.size(),
+                  "cannot reconfigure mid-campaign");
+  config_.master_seed = master_seed;
+  config_.trials_override = trials_override;
+}
+
+void Coordinator::load_campaign(
+    const std::vector<campaign::Scenario>& scenarios) {
+  // Journal load happens outside the lock (file I/O), before the grid is
+  // published; commits cannot arrive for an unloaded campaign anyway.
+  JournalLoad journal_rows;
+  if (config_.resume) {
+    DUALRAD_REQUIRE(!config_.journal_path.empty(),
+                    "resume requires a journal path");
+    journal_rows = load_journal(config_.journal_path);
+    // Cut any torn final line before reopening for append, or the next
+    // commit would concatenate onto the fragment and corrupt it.
+    truncate_torn_tail(config_.journal_path, journal_rows);
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  DUALRAD_REQUIRE(!loaded_ || committed_ == rows_.size(),
+                  "a campaign is already in progress");
+
+  scenarios_.clear();
+  scenario_index_.clear();
+  units_.clear();
+  std::set<std::string> names;
+  std::size_t total = 0;
+  for (const campaign::Scenario& s : scenarios) {
+    DUALRAD_REQUIRE(names.insert(s.name).second,
+                    "duplicate scenario name in campaign: " + s.name);
+    const std::size_t trials =
+        config_.trials_override != 0 ? config_.trials_override : s.trials;
+    DUALRAD_REQUIRE(trials >= 1,
+                    "scenario '" + s.name + "' needs at least one trial");
+    DUALRAD_REQUIRE(trials <= 0xFFFFFFFFull,
+                    "scenario '" + s.name + "' trial count exceeds 2^32");
+    scenario_index_.emplace(s.name, scenarios_.size());
+    scenarios_.push_back(ScenarioSlot{s.name, trials, total});
+    total += trials;
+  }
+
+  rows_.assign(total, {});
+  row_bytes_.assign(total, {});
+  telemetry_.assign(config_.collect_telemetry ? total : 0, {});
+  telemetry_present_.assign(config_.collect_telemetry ? total : 0, 0);
+  unit_of_job_.assign(total, 0);
+  committed_ = 0;
+  resumed_ = 0;
+
+  for (std::size_t si = 0; si < scenarios_.size(); ++si) {
+    const ScenarioSlot& slot = scenarios_[si];
+    const std::uint32_t trials = static_cast<std::uint32_t>(slot.trials);
+    const std::uint32_t step =
+        config_.unit_trials == 0 ? trials : config_.unit_trials;
+    for (std::uint32_t begin = 0; begin < trials; begin += step) {
+      const std::uint32_t end = std::min(trials, begin + step);
+      Unit unit;
+      unit.scenario = si;
+      unit.trial_begin = begin;
+      unit.trial_end = end;
+      unit.remaining = end - begin;
+      for (std::uint32_t t = begin; t < end; ++t) {
+        unit_of_job_[slot.first_job + t] = units_.size();
+      }
+      units_.push_back(std::move(unit));
+    }
+  }
+
+  loaded_ = true;
+
+  // Open (or create) the journal before replaying: replayed rows are already
+  // in the file, so commit_locked(from_journal=true) skips re-appending.
+  if (!config_.journal_path.empty()) {
+    journal_.open(config_.journal_path);
+  }
+  for (const campaign::TrialRow& row : journal_rows.rows) {
+    const Commit outcome = commit_locked(row, /*from_journal=*/true);
+    DUALRAD_CHECK(outcome == Commit::Accepted,
+                  "journal replay produced a duplicate");
+    ++resumed_;
+  }
+  if (committed_ == rows_.size()) done_cv_.notify_all();
+}
+
+bool Coordinator::campaign_loaded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_;
+}
+
+std::string Coordinator::register_worker(const std::string& requested) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++workers_seen_;
+  if (!requested.empty()) return requested;
+  return "w" + std::to_string(next_worker_++);
+}
+
+void Coordinator::sweep_expired_leases_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  for (Unit& unit : units_) {
+    if (unit.state == UnitState::Leased && now >= unit.lease_deadline) {
+      // The worker died or stalled: requeue. Trials it already committed
+      // stay committed; a later worker re-running them dedupes byte-wise.
+      unit.state = UnitState::Pending;
+      unit.worker.clear();
+    }
+  }
+}
+
+std::optional<JobSpec> Coordinator::lease(const std::string& worker) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!loaded_) return std::nullopt;
+  sweep_expired_leases_locked();
+  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+    Unit& unit = units_[ui];
+    if (unit.state != UnitState::Pending) continue;
+    unit.state = UnitState::Leased;
+    unit.worker = worker;
+    unit.lease_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<std::int64_t>(config_.lease_secs * 1e6));
+    JobSpec job;
+    job.unit = ui;
+    job.scenario = scenarios_[unit.scenario].name;
+    job.trial_begin = unit.trial_begin;
+    job.trial_end = unit.trial_end;
+    job.master_seed = config_.master_seed;
+    job.threads_per_trial = config_.threads_per_trial;
+    job.collect_telemetry = config_.collect_telemetry;
+    return job;
+  }
+  return std::nullopt;
+}
+
+Coordinator::Commit Coordinator::commit_locked(const campaign::TrialRow& row,
+                                               bool from_journal) {
+  DUALRAD_REQUIRE(loaded_, "commit before a campaign was loaded");
+  const auto it = scenario_index_.find(row.scenario);
+  DUALRAD_REQUIRE(it != scenario_index_.end(),
+                  "commit for unknown scenario: " + row.scenario);
+  const ScenarioSlot& slot = scenarios_[it->second];
+  DUALRAD_REQUIRE(row.trial < slot.trials,
+                  "commit trial out of range in " + row.scenario);
+  DUALRAD_REQUIRE(
+      row.seed ==
+          campaign::trial_seed(config_.master_seed, row.scenario, row.trial),
+      "commit seed mismatch (different master seed?) in " + row.scenario);
+
+  const std::size_t job = slot.first_job + row.trial;
+  // Canonical untimed bytes: the same bytes the final export will contain,
+  // and the byte-identity key of exactly-once commit.
+  campaign::TrialRow canonical = row;
+  canonical.wall_us = -1;
+  const std::string bytes = campaign::trials_to_jsonl({canonical});
+
+  if (!row_bytes_[job].empty()) {
+    if (row_bytes_[job] == bytes) return Commit::Duplicate;
+    throw std::runtime_error(
+        "dualrad: conflicting commit for " + row.scenario + "#" +
+        std::to_string(row.trial) +
+        " — byte-identity contract violated (mismatched binary or grid?)");
+  }
+
+  if (!from_journal && journal_.is_open()) journal_.append(canonical);
+  rows_[job] = std::move(canonical);
+  row_bytes_[job] = bytes;
+  ++committed_;
+
+  Unit& unit = units_[unit_of_job_[job]];
+  DUALRAD_CHECK(unit.remaining > 0, "unit committed more trials than it has");
+  if (--unit.remaining == 0) {
+    unit.state = UnitState::Done;
+    unit.worker.clear();
+  }
+  return Commit::Accepted;
+}
+
+Coordinator::Commit Coordinator::commit(const campaign::TrialRow& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Commit outcome = commit_locked(row, /*from_journal=*/false);
+  if (committed_ == rows_.size()) done_cv_.notify_all();
+  return outcome;
+}
+
+void Coordinator::add_telemetry(const campaign::TelemetryRow& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!loaded_ || !config_.collect_telemetry) return;
+  const auto it = scenario_index_.find(row.scenario);
+  if (it == scenario_index_.end()) return;
+  const ScenarioSlot& slot = scenarios_[it->second];
+  if (row.trial >= slot.trials) return;
+  const std::size_t job = slot.first_job + row.trial;
+  // First report wins: a requeued unit's re-run may report again, and
+  // telemetry (being nondeterministic) has no byte-identity to arbitrate.
+  if (telemetry_present_[job]) return;
+  telemetry_[job] = row;
+  telemetry_present_[job] = 1;
+}
+
+bool Coordinator::done() const {
+  // Callers hold no lock (done is const); the engine reads are benign but
+  // lock anyway for a clean contract — this is never on a hot path.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_ && committed_ == rows_.size();
+}
+
+bool Coordinator::wait_done(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto is_done = [&] { return loaded_ && committed_ == rows_.size(); };
+  if (timeout.count() <= 0) {
+    done_cv_.wait(lock, is_done);
+    return true;
+  }
+  return done_cv_.wait_for(lock, timeout, is_done);
+}
+
+Coordinator::Status Coordinator::status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Status s;
+  s.loaded = loaded_;
+  s.finished = loaded_ && committed_ == rows_.size();
+  s.scenarios = scenarios_.size();
+  s.total_trials = rows_.size();
+  s.committed = committed_;
+  s.resumed = resumed_;
+  for (const Unit& unit : units_) {
+    switch (unit.state) {
+      case UnitState::Pending: ++s.units_pending; break;
+      case UnitState::Leased: ++s.units_leased; break;
+      case UnitState::Done: ++s.units_done; break;
+    }
+  }
+  s.workers = workers_seen_;
+  return s;
+}
+
+campaign::CampaignResult Coordinator::finalize() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  DUALRAD_REQUIRE(loaded_ && committed_ == rows_.size(),
+                  "finalize before the campaign completed");
+  campaign::CampaignResult result;
+  result.trials = rows_;
+  campaign::CampaignGrid grid;
+  grid.reserve(scenarios_.size());
+  for (const ScenarioSlot& slot : scenarios_) {
+    grid.emplace_back(slot.name, slot.trials);
+  }
+  // Serve-mode rows are always untimed (the canonicalization in commit), so
+  // summaries carry no wall-time column — matching an untimed batch run.
+  result.summaries = campaign::summarize_trials(result.trials, grid, false);
+  if (config_.collect_telemetry) {
+    result.telemetry.reserve(rows_.size());
+    for (std::size_t job = 0; job < telemetry_.size(); ++job) {
+      if (telemetry_present_[job]) result.telemetry.push_back(telemetry_[job]);
+    }
+  }
+  return result;
+}
+
+}  // namespace dualrad::serve

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/scenario.hpp"
+#include "serve/checkpoint.hpp"
+
+/// \file coordinator.hpp
+/// The persistent campaign coordinator: a job queue of scenario x trial-range
+/// work units with lease/ack/requeue semantics.
+///
+/// Dispatch is at-least-once: a unit leased to a worker that dies or stalls
+/// past the lease timeout is requeued and reissued to the next worker that
+/// asks. Commit is exactly-once, keyed by (scenario, trial): the first commit
+/// of a trial is journaled and counted; a replay (from a requeued unit or a
+/// reconnecting worker retransmitting unacked commits) must be byte-identical
+/// to the committed row — it dedupes silently — while a conflicting row
+/// throws, because under the engine's determinism contract two honest
+/// executions of one trial can never differ.
+///
+/// All public methods are thread-safe; the socket server calls them from one
+/// thread per connection.
+
+namespace dualrad::serve {
+
+/// One work unit: a slice of a scenario's deterministic trial stream.
+/// Every trial inside is individually addressable (and thus individually
+/// retryable) as (scenario, trial index) under the campaign master seed.
+struct JobSpec {
+  std::uint64_t unit = 0;  ///< coordinator-local unit id
+  std::string scenario;
+  std::uint32_t trial_begin = 0;
+  std::uint32_t trial_end = 0;  ///< exclusive
+  std::uint64_t master_seed = 1;
+  unsigned threads_per_trial = 1;
+  bool collect_telemetry = false;
+};
+
+class Coordinator {
+ public:
+  struct Config {
+    std::uint64_t master_seed = 1;
+    /// When nonzero, overrides every scenario's trial count.
+    std::size_t trials_override = 0;
+    /// Trials per work unit (lease granularity). 0 means one unit per
+    /// scenario; 1 maximizes retry granularity.
+    std::uint32_t unit_trials = 4;
+    /// Lease timeout: a unit not fully committed within this window is
+    /// requeued. Sweeps run on every lease request, so expiry needs no
+    /// dedicated thread.
+    double lease_secs = 30.0;
+    /// Append-only journal path; empty disables checkpointing.
+    std::string journal_path;
+    /// Load the journal before dispatching and skip committed trials.
+    bool resume = false;
+    /// Propagated to workers in every JobSpec.
+    unsigned threads_per_trial = 1;
+    bool collect_telemetry = false;
+  };
+
+  explicit Coordinator(Config config);
+
+  /// Adjust per-campaign parameters ahead of load_campaign (used by the
+  /// submit path). Throws if a campaign is in progress.
+  void configure_campaign(std::uint64_t master_seed,
+                          std::size_t trials_override);
+
+  /// Install the campaign grid. Validates like run_campaign (duplicate
+  /// names, trial counts); with Config::resume, loads the journal and
+  /// pre-commits its rows. Throws if a campaign is already loaded and not
+  /// yet finished.
+  void load_campaign(const std::vector<campaign::Scenario>& scenarios);
+
+  [[nodiscard]] bool campaign_loaded() const;
+
+  /// Register a worker (empty id requests a fresh one) and return its id.
+  [[nodiscard]] std::string register_worker(const std::string& requested);
+
+  /// Lease the next available unit; nullopt when nothing is leasable right
+  /// now (all units leased or done — callers should retry or finish).
+  [[nodiscard]] std::optional<JobSpec> lease(const std::string& worker);
+
+  enum class Commit { Accepted, Duplicate };
+
+  /// Commit one trial row. Validates the seed against the derived stream,
+  /// journals first commits, dedupes byte-identical replays; throws
+  /// std::invalid_argument on unknown trials and std::runtime_error on a
+  /// conflicting replay (byte-identity violation).
+  Commit commit(const campaign::TrialRow& row);
+
+  /// Record an out-of-band telemetry row (first one per trial wins).
+  void add_telemetry(const campaign::TelemetryRow& row);
+
+  [[nodiscard]] bool done() const;
+
+  /// Block until the campaign completes (or `deadline` passes; zero waits
+  /// forever). Returns done().
+  bool wait_done(std::chrono::milliseconds timeout = {});
+
+  struct Status {
+    bool loaded = false;
+    bool finished = false;
+    std::size_t scenarios = 0;
+    std::size_t total_trials = 0;
+    std::size_t committed = 0;
+    std::size_t resumed = 0;  ///< of `committed`, satisfied from the journal
+    std::size_t units_pending = 0;
+    std::size_t units_leased = 0;
+    std::size_t units_done = 0;
+    std::size_t workers = 0;
+  };
+  [[nodiscard]] Status status() const;
+
+  /// Assemble the finished campaign: rows in canonical (scenario
+  /// registration order, trial) order, summaries via the shared
+  /// summarize_trials — byte-identical exports to a batch run_campaign of
+  /// the same grid and master seed. Throws if !done().
+  [[nodiscard]] campaign::CampaignResult finalize() const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  enum class UnitState { Pending, Leased, Done };
+
+  struct Unit {
+    std::size_t scenario = 0;
+    std::uint32_t trial_begin = 0;
+    std::uint32_t trial_end = 0;
+    UnitState state = UnitState::Pending;
+    std::chrono::steady_clock::time_point lease_deadline{};
+    std::string worker;
+    std::uint32_t remaining = 0;  ///< uncommitted trials in range
+  };
+
+  struct ScenarioSlot {
+    std::string name;
+    std::size_t trials = 0;
+    std::size_t first_job = 0;
+  };
+
+  void sweep_expired_leases_locked();
+  Commit commit_locked(const campaign::TrialRow& row, bool from_journal);
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+
+  bool loaded_ = false;
+  std::vector<ScenarioSlot> scenarios_;
+  std::map<std::string, std::size_t, std::less<>> scenario_index_;
+  std::vector<Unit> units_;
+  std::vector<std::size_t> unit_of_job_;
+  std::vector<campaign::TrialRow> rows_;
+  std::vector<std::string> row_bytes_;  ///< canonical JSONL per committed slot
+  std::vector<campaign::TelemetryRow> telemetry_;
+  std::vector<char> telemetry_present_;
+  std::size_t committed_ = 0;
+  std::size_t resumed_ = 0;
+  std::size_t next_worker_ = 0;
+  std::size_t workers_seen_ = 0;
+  JournalWriter journal_;
+};
+
+}  // namespace dualrad::serve

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file wire.hpp
+/// The serve-mode framing layer: length-prefixed, CRC-checked frames over a
+/// byte stream (Unix-domain or TCP socket).
+///
+/// Frame layout (all integers little-endian):
+///   u32 payload length | u32 CRC-32 (IEEE) of payload | payload bytes
+///
+/// Payloads are single-line JSON messages (campaign/jsonl.hpp flat objects)
+/// with a "type" key. The CRC turns any torn or corrupted stream into a hard
+/// framing error — the connection is dropped and the worker retransmits
+/// unacknowledged commits after reconnecting (the perfect-link idiom:
+/// at-least-once delivery below, exactly-once commit above, keyed by
+/// (scenario, trial) in the coordinator).
+
+namespace dualrad::serve {
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `data`.
+/// crc32("123456789") == 0xCBF43926.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Maximum accepted payload size. Generous for JSONL rows; a length above
+/// this means the stream is garbage (or hostile) and the connection dies.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 24;  // 16 MiB
+
+/// Serialize one frame.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder: feed() arbitrary chunks, next() yields decoded
+/// payloads in order. A CRC mismatch or oversized length puts the reader
+/// into a sticky corrupt state (next() returns nullopt forever; the caller
+/// must drop the connection).
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size) {
+    buffer_.append(data, size);
+  }
+  void feed(std::string_view data) { buffer_.append(data); }
+
+  /// Next complete, CRC-valid payload; nullopt if more bytes are needed or
+  /// the stream is corrupt.
+  [[nodiscard]] std::optional<std::string> next();
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+// --- blocking socket I/O -----------------------------------------------------
+
+/// Send one frame; returns false on any send error (EPIPE included — SIGPIPE
+/// is suppressed).
+[[nodiscard]] bool send_frame(int fd, std::string_view payload);
+
+/// Receive the next frame. Blocks up to `timeout_ms` (0 = forever); returns:
+///  - a payload on success,
+///  - nullopt with *timed_out = true on timeout,
+///  - nullopt with *timed_out = false on EOF / error / corrupt stream.
+[[nodiscard]] std::optional<std::string> recv_frame(int fd, FrameReader& reader,
+                                                    int timeout_ms,
+                                                    bool* timed_out);
+
+// --- endpoints ---------------------------------------------------------------
+//
+// An endpoint string containing '/' is a Unix-domain socket path; otherwise
+// it is host:port (or :port / bare port for 127.0.0.1). All functions return
+// a connected/listening fd or -1 (with errno set).
+
+[[nodiscard]] int listen_endpoint(const std::string& endpoint);
+[[nodiscard]] int connect_endpoint(const std::string& endpoint);
+[[nodiscard]] int accept_connection(int listen_fd, int timeout_ms,
+                                    bool* timed_out);
+
+}  // namespace dualrad::serve

@@ -1,0 +1,276 @@
+#include "serve/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "campaign/engine.hpp"
+#include "campaign/export.hpp"
+#include "campaign/jsonl.hpp"
+#include "serve/wire.hpp"
+
+namespace dualrad::serve {
+
+namespace jsonl = campaign::jsonl;
+
+namespace {
+
+/// Splice row fields into a typed wire message: take the canonical JSONL row
+/// and graft `"type":"commit","unit":N` onto the front of the object, so the
+/// server can hand the payload straight to the canonical row parser.
+[[nodiscard]] std::string commit_payload(std::uint64_t unit,
+                                         const campaign::TrialRow& row) {
+  std::string json = campaign::trials_to_jsonl({row});
+  json.pop_back();  // trailing newline
+  return "{\"type\":\"commit\",\"unit\":" + std::to_string(unit) + "," +
+         json.substr(1);
+}
+
+[[nodiscard]] std::string telemetry_payload(const campaign::TelemetryRow& row) {
+  std::string json = campaign::telemetry_to_jsonl({row});
+  json.pop_back();
+  return "{\"type\":\"telemetry\"," + json.substr(1);
+}
+
+void sleep_checking_stop(std::chrono::milliseconds total,
+                         const std::atomic<bool>* stop) {
+  using namespace std::chrono;
+  auto remaining = total;
+  while (remaining.count() > 0) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+    const auto chunk = std::min<milliseconds>(remaining, milliseconds(50));
+    std::this_thread::sleep_for(chunk);
+    remaining -= chunk;
+  }
+}
+
+/// One logical session with the coordinator, surviving reconnects. request()
+/// is at-least-once: a dropped connection mid-request reconnects (fresh
+/// hello handshake under the same worker id) and resends the same payload —
+/// which for commits is exactly the retransmit-unacked behaviour the
+/// coordinator's dedup expects.
+class Session {
+ public:
+  Session(const std::function<int()>& connect, const WorkerOptions& options,
+          WorkerStats& stats)
+      : connect_(connect), options_(options), stats_(stats) {
+    worker_id_ = options.worker_id;
+  }
+
+  ~Session() { drop(); }
+
+  [[nodiscard]] const std::string& worker_id() const { return worker_id_; }
+
+  [[nodiscard]] bool stop_requested() const {
+    return options_.stop != nullptr &&
+           options_.stop->load(std::memory_order_relaxed);
+  }
+
+  /// Send `payload` and return its reply; nullopt only on stop request.
+  /// Throws std::runtime_error when the reconnect window is exhausted.
+  [[nodiscard]] std::optional<std::string> request(const std::string& payload) {
+    for (;;) {
+      if (stop_requested()) return std::nullopt;
+      if (!ensure_connected()) return std::nullopt;
+      if (!send_frame(fd_, payload)) {
+        drop();
+        continue;
+      }
+      bool timed_out = false;
+      std::optional<std::string> reply =
+          recv_frame(fd_, reader_, options_.reply_timeout_ms, &timed_out);
+      if (!reply.has_value()) {
+        drop();
+        continue;
+      }
+      return reply;
+    }
+  }
+
+  /// Best-effort one-way send (telemetry): one reconnect attempt, then give
+  /// up silently — telemetry is advisory and has no delivery contract.
+  void send_oneway(const std::string& payload) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (stop_requested() || !ensure_connected()) return;
+      if (send_frame(fd_, payload)) return;
+      drop();
+    }
+  }
+
+ private:
+  void drop() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    reader_ = FrameReader{};
+  }
+
+  /// Connect + hello handshake; false only on stop request. A fresh
+  /// reconnect window opens each time we enter the disconnected state.
+  [[nodiscard]] bool ensure_connected() {
+    if (fd_ >= 0) return true;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            options_.reconnect_window_secs * 1e6));
+    for (;;) {
+      if (stop_requested()) return false;
+      const int fd = connect_();
+      if (fd >= 0 && handshake(fd)) {
+        fd_ = fd;
+        if (connected_once_) ++stats_.reconnects;
+        connected_once_ = true;
+        return true;
+      }
+      if (fd >= 0) ::close(fd);
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw std::runtime_error(
+            "dualrad: worker lost the coordinator (reconnect window "
+            "exhausted)");
+      }
+      sleep_checking_stop(options_.reconnect_backoff, options_.stop);
+    }
+  }
+
+  [[nodiscard]] bool handshake(int fd) {
+    reader_ = FrameReader{};
+    const std::string hello =
+        "{\"type\":\"hello\",\"worker\":\"" + worker_id_ + "\"}";
+    if (!send_frame(fd, hello)) return false;
+    bool timed_out = false;
+    const std::optional<std::string> reply =
+        recv_frame(fd, reader_, options_.reply_timeout_ms, &timed_out);
+    if (!reply.has_value()) return false;
+    if (jsonl::field(*reply, "type") != "welcome") return false;
+    worker_id_ = std::string(jsonl::field(*reply, "worker"));
+    return true;
+  }
+
+  const std::function<int()>& connect_;
+  const WorkerOptions& options_;
+  WorkerStats& stats_;
+  std::string worker_id_;
+  int fd_ = -1;
+  FrameReader reader_;
+  bool connected_once_ = false;
+};
+
+}  // namespace
+
+WorkerStats run_worker(const std::function<int()>& connect,
+                       const std::vector<campaign::Scenario>& catalogue,
+                       const WorkerOptions& options) {
+  WorkerStats stats;
+  Session session(connect, options, stats);
+
+  std::map<std::string, const campaign::Scenario*, std::less<>> by_name;
+  for (const campaign::Scenario& s : catalogue) by_name.emplace(s.name, &s);
+
+  // Executors are cached per (scenario, master seed): network construction
+  // dominates short trials, and every trial of a unit — and usually many
+  // units — shares one.
+  std::map<std::pair<std::string, std::uint64_t>, campaign::TrialExecutor>
+      executors;
+
+  const auto log = [&](const std::string& line) {
+    if (options.log) options.log("[worker " + session.worker_id() + "] " + line);
+  };
+
+  for (;;) {
+    if (session.stop_requested()) {
+      stats.stopped = true;
+      break;
+    }
+    const std::optional<std::string> reply = session.request(
+        "{\"type\":\"lease\",\"worker\":\"" + session.worker_id() + "\"}");
+    if (!reply.has_value()) {
+      stats.stopped = true;
+      break;
+    }
+    const std::string_view type = jsonl::field(*reply, "type");
+    if (type == "done") break;
+    if (type == "wait" || type == "idle") {
+      sleep_checking_stop(options.poll, options.stop);
+      continue;
+    }
+    if (type == "error") {
+      throw std::runtime_error("dualrad: coordinator rejected lease: " +
+                               std::string(jsonl::field(*reply, "message")));
+    }
+    DUALRAD_REQUIRE(type == "unit",
+                    "unexpected lease reply type: " + std::string(type));
+
+    const std::uint64_t unit = jsonl::to_u64(jsonl::field(*reply, "unit"));
+    const std::string scenario_name(jsonl::field(*reply, "scenario"));
+    const std::uint32_t trial_begin = static_cast<std::uint32_t>(
+        jsonl::to_u64(jsonl::field(*reply, "trial_begin")));
+    const std::uint32_t trial_end = static_cast<std::uint32_t>(
+        jsonl::to_u64(jsonl::field(*reply, "trial_end")));
+    const std::uint64_t master_seed =
+        jsonl::to_u64(jsonl::field(*reply, "master_seed"));
+    const unsigned threads = options.threads_per_trial != 0
+                                 ? options.threads_per_trial
+                                 : static_cast<unsigned>(jsonl::to_u64(
+                                       jsonl::field(*reply, "threads_per_trial")));
+    const bool telemetry =
+        jsonl::field(*reply, "collect_telemetry") == "true";
+
+    const auto scenario_it = by_name.find(scenario_name);
+    DUALRAD_REQUIRE(scenario_it != by_name.end(),
+                    "coordinator dispatched a scenario this worker does not "
+                    "know: " + scenario_name);
+    const auto exec_it =
+        executors.try_emplace(std::make_pair(scenario_name, master_seed),
+                              *scenario_it->second, master_seed)
+            .first;
+    const campaign::TrialExecutor& executor = exec_it->second;
+
+    log("unit " + std::to_string(unit) + ": " + scenario_name + " trials [" +
+        std::to_string(trial_begin) + "," + std::to_string(trial_end) + ")");
+
+    campaign::TrialOptions trial_options;
+    trial_options.threads_per_trial = threads;
+    trial_options.collect_telemetry = telemetry;
+    bool unit_complete = true;
+    for (std::uint32_t trial = trial_begin; trial < trial_end; ++trial) {
+      if (session.stop_requested()) {
+        stats.stopped = true;
+        unit_complete = false;
+        break;
+      }
+      const campaign::TrialExecutor::Outcome outcome =
+          executor.run(trial, trial_options);
+      if (telemetry) session.send_oneway(telemetry_payload(outcome.telemetry));
+      const std::optional<std::string> ack =
+          session.request(commit_payload(unit, outcome.row));
+      if (!ack.has_value()) {
+        stats.stopped = true;
+        unit_complete = false;
+        break;
+      }
+      const std::string_view ack_type = jsonl::field(*ack, "type");
+      if (ack_type == "error") {
+        throw std::runtime_error("dualrad: commit rejected: " +
+                                 std::string(jsonl::field(*ack, "message")));
+      }
+      DUALRAD_REQUIRE(ack_type == "ack",
+                      "unexpected commit reply type: " + std::string(ack_type));
+      if (jsonl::field(*ack, "dup") == "1") ++stats.duplicates;
+      ++stats.trials;
+    }
+    if (!unit_complete) break;
+    ++stats.units;
+  }
+
+  stats.worker_id = session.worker_id();
+  return stats;
+}
+
+}  // namespace dualrad::serve

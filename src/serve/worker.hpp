@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+
+/// \file worker.hpp
+/// The serve-mode worker: connects to a coordinator, pulls work units, runs
+/// their trials through campaign::TrialExecutor, and streams committed rows
+/// back over the wire.
+///
+/// Reliability: requests are strict request/response; any socket failure
+/// (drop, timeout, CRC corruption) tears the connection down and the worker
+/// reconnects and retries the in-flight request. Commits are the only
+/// request with side effects, and the coordinator dedupes them byte-wise, so
+/// retransmit-on-reconnect is safe — at-least-once below, exactly-once
+/// above. A commit answered with `error` is fatal: it means this worker
+/// produced different bytes for a trial than an earlier commit, which under
+/// the determinism contract means a mismatched binary or grid.
+
+namespace dualrad::serve {
+
+struct WorkerOptions {
+  /// Requested worker id; empty asks the coordinator to assign one.
+  std::string worker_id;
+  /// Overrides the coordinator-provided threads_per_trial when nonzero.
+  unsigned threads_per_trial = 0;
+  /// Pause between lease polls when the coordinator says `wait` or `idle`.
+  std::chrono::milliseconds poll{300};
+  /// Pause between reconnection attempts.
+  std::chrono::milliseconds reconnect_backoff{200};
+  /// Give up (throw) after this long without a successful connection.
+  double reconnect_window_secs = 15.0;
+  /// Receive timeout for each expected reply.
+  int reply_timeout_ms = 30'000;
+  /// Optional cooperative stop: checked between trials and between
+  /// requests; when set, the worker returns early (its lease expires and
+  /// the unit is reissued elsewhere).
+  const std::atomic<bool>* stop = nullptr;
+  /// Optional progress logger (one line per event).
+  std::function<void(const std::string&)> log;
+};
+
+struct WorkerStats {
+  std::string worker_id;
+  std::size_t units = 0;
+  std::size_t trials = 0;
+  std::size_t duplicates = 0;  ///< commits the coordinator had already seen
+  std::size_t reconnects = 0;
+  bool stopped = false;  ///< true if options.stop ended the run early
+};
+
+/// Run the worker loop until the coordinator reports the campaign done (or
+/// `options.stop` is raised). `connect` must return a connected socket fd or
+/// -1; it is invoked for the initial connection and after every drop.
+/// `catalogue` must contain every scenario the coordinator may dispatch
+/// (unknown scenarios throw). Throws std::runtime_error when the
+/// reconnection window is exhausted or a commit is rejected.
+WorkerStats run_worker(const std::function<int()>& connect,
+                       const std::vector<campaign::Scenario>& catalogue,
+                       const WorkerOptions& options = {});
+
+}  // namespace dualrad::serve

@@ -1,0 +1,675 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adversary/basic_adversaries.hpp"
+#include "adversary/greedy_blocker.hpp"
+#include "algorithms/harmonic.hpp"
+#include "algorithms/round_robin_bcast.hpp"
+#include "campaign/contract.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/export.hpp"
+#include "campaign/registry.hpp"
+#include "graph/dual_builders.hpp"
+#include "obs/heartbeat.hpp"
+#include "serve/checkpoint.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
+
+namespace dualrad::serve {
+namespace {
+
+using campaign::CampaignConfig;
+using campaign::CampaignResult;
+using campaign::Scenario;
+using campaign::TrialRow;
+
+Scenario cheap_scenario(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  s.network = [] { return duals::layered_complete_gprime(4, 3); };
+  s.algorithm = [](const DualGraph& net) {
+    return make_harmonic_factory(net.node_count(), {.eps = 0.2});
+  };
+  s.adversary = campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.4);
+  s.max_rounds = 500'000;
+  s.trials = 4;
+  return s;
+}
+
+std::vector<Scenario> cheap_campaign() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(cheap_scenario("serve/harmonic/bernoulli"));
+  Scenario greedy = cheap_scenario("serve/harmonic/greedy");
+  greedy.adversary = campaign::make_adversary_factory<GreedyBlockerAdversary>();
+  scenarios.push_back(greedy);
+  Scenario rr = cheap_scenario("serve/round-robin/benign");
+  rr.algorithm = [](const DualGraph& net) {
+    return make_round_robin_factory(net.node_count());
+  };
+  rr.adversary = campaign::make_adversary_factory<BenignAdversary>();
+  rr.trials = 2;
+  scenarios.push_back(rr);
+  return scenarios;
+}
+
+/// RAII temp file path (the file itself may or may not be created).
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* tag) {
+    path = testing::TempDir() + "dualrad_" + tag + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// The batch-engine reference output the serve stack must reproduce
+/// byte-for-byte.
+[[nodiscard]] std::pair<std::string, std::string> batch_reference(
+    const std::vector<Scenario>& scenarios, std::uint64_t seed) {
+  CampaignConfig config;
+  config.master_seed = seed;
+  config.threads = 2;
+  const CampaignResult result = run_campaign(scenarios, config);
+  return {campaign::trials_to_jsonl(result.trials),
+          campaign::summaries_to_jsonl(result.summaries)};
+}
+
+// --- wire framing ------------------------------------------------------------
+
+TEST(ServeWire, Crc32MatchesIeeeVectors) {
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string_view("\0", 1)), 0xD202EF8Du);
+}
+
+TEST(ServeWire, FrameRoundTripsThroughArbitraryChunking) {
+  const std::vector<std::string> payloads = {
+      "{\"type\":\"hello\"}", "", std::string(10'000, 'x'),
+      std::string("\x01\xff\n{}", 5)};
+  std::string stream;
+  for (const std::string& p : payloads) stream += encode_frame(p);
+
+  for (std::size_t chunk = 1; chunk <= 7; chunk += 3) {
+    FrameReader reader;
+    std::vector<std::string> decoded;
+    for (std::size_t at = 0; at < stream.size(); at += chunk) {
+      reader.feed(stream.substr(at, chunk));
+      while (auto payload = reader.next()) decoded.push_back(*payload);
+    }
+    EXPECT_EQ(decoded, payloads) << "chunk size " << chunk;
+    EXPECT_FALSE(reader.corrupt());
+  }
+}
+
+TEST(ServeWire, CorruptedPayloadPoisonsTheReader) {
+  std::string stream = encode_frame("{\"type\":\"lease\",\"worker\":\"w0\"}");
+  stream[stream.size() / 2] ^= 0x20;  // flip a payload bit
+  stream += encode_frame("{\"type\":\"status\"}");  // valid frame behind it
+
+  FrameReader reader;
+  reader.feed(stream);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupt());
+  // Sticky: the valid frame after the corruption is never surfaced.
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ServeWire, OversizedLengthPoisonsTheReader) {
+  std::string stream = "\xff\xff\xff\xff";  // 4 GiB length prefix
+  stream.append(8, '\0');
+  FrameReader reader;
+  reader.feed(stream);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupt());
+}
+
+// --- checkpoint journal ------------------------------------------------------
+
+[[nodiscard]] TrialRow sample_row(std::uint32_t trial, std::uint64_t seed) {
+  TrialRow row;
+  row.scenario = "serve/journal/demo";
+  row.trial = trial;
+  row.seed = seed;
+  row.completed = true;
+  row.rounds = 10 + static_cast<Round>(trial);
+  row.rounds_executed = row.rounds;
+  row.sends = 100;
+  row.collisions = 7;
+  return row;
+}
+
+TEST(ServeCheckpoint, JournalRoundTripsAndDropsOnlyTheTornTail) {
+  const TrialRow a = sample_row(0, 11), b = sample_row(1, 22);
+  const std::string text = journal_line(a) + journal_line(b);
+  const JournalLoad clean = parse_journal(text);
+  EXPECT_EQ(clean.rows.size(), 2u);
+  EXPECT_EQ(clean.dropped_torn_tail, 0u);
+  EXPECT_EQ(clean.rows[0].seed, 11u);
+  EXPECT_EQ(clean.rows[1].rounds, 11);
+
+  // A torn final line — half a journal_line — is dropped and reported.
+  const std::string torn_line = journal_line(sample_row(2, 33));
+  const JournalLoad torn =
+      parse_journal(text + torn_line.substr(0, torn_line.size() / 2));
+  EXPECT_EQ(torn.rows.size(), 2u);
+  EXPECT_EQ(torn.dropped_torn_tail, 1u);
+
+  // The same damage mid-file is corruption, not a torn tail.
+  EXPECT_THROW(
+      parse_journal(torn_line.substr(0, torn_line.size() / 2) + "\n" + text),
+      std::invalid_argument);
+}
+
+TEST(ServeCheckpoint, JournalDedupesReplaysAndRejectsConflicts) {
+  const TrialRow a = sample_row(0, 11);
+  const JournalLoad duped = parse_journal(journal_line(a) + journal_line(a));
+  EXPECT_EQ(duped.rows.size(), 1u);
+  EXPECT_EQ(duped.duplicates, 1u);
+
+  TrialRow conflicting = a;
+  conflicting.rounds = 999;  // same (scenario, trial), different bytes
+  EXPECT_THROW(parse_journal(journal_line(a) + journal_line(conflicting)),
+               std::invalid_argument);
+}
+
+TEST(ServeCheckpoint, WriterAppendsLoadableLines) {
+  const TempPath journal("journal");
+  {
+    JournalWriter writer;
+    writer.open(journal.path);
+    writer.append(sample_row(0, 11));
+    writer.append(sample_row(1, 22));
+  }
+  {
+    JournalWriter writer;  // reopen appends, never truncates
+    writer.open(journal.path);
+    writer.append(sample_row(2, 33));
+  }
+  const JournalLoad load = load_journal(journal.path);
+  EXPECT_EQ(load.rows.size(), 3u);
+  EXPECT_EQ(load.rows[2].trial, 2u);
+}
+
+// --- export parsers under torn writes ---------------------------------------
+
+TEST(ServeCheckpoint, ExportParsersFailLoudlyOnTornAndInterleavedLines) {
+  CampaignConfig config;
+  config.master_seed = 5;
+  const CampaignResult result =
+      run_campaign({cheap_scenario("serve/torn/demo")}, config);
+  const std::string good = campaign::trials_to_jsonl(result.trials);
+  ASSERT_EQ(campaign::trials_from_jsonl(good).size(), result.trials.size());
+
+  // Truncated final line: must throw, never silently drop the row.
+  EXPECT_THROW((void)campaign::trials_from_jsonl(
+                   good.substr(0, good.size() - good.size() / 3)),
+               std::invalid_argument);
+
+  // Two writers' torn lines interleaved on one line: key-based scanning
+  // could pick fields from either row, so the parser must refuse.
+  const std::size_t first_nl = good.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  std::string interleaved = good;
+  interleaved.erase(first_nl, 1);  // "{...}{...}" on one line
+  EXPECT_THROW((void)campaign::trials_from_jsonl(interleaved),
+               std::invalid_argument);
+
+  // Same guards on the telemetry parser.
+  EXPECT_THROW((void)campaign::telemetry_from_jsonl(
+                   "{\"scenario\":\"a\",\"trial\":0}{\"scenario\":\"b\"\n"),
+               std::invalid_argument);
+}
+
+// --- TrialExecutor -----------------------------------------------------------
+
+TEST(ServeExecutor, MatchesTheBatchEnginePerTrial) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  CampaignConfig config;
+  config.master_seed = 77;
+  const CampaignResult batch = run_campaign(scenarios, config);
+
+  std::vector<TrialRow> rows;
+  for (const Scenario& s : scenarios) {
+    const campaign::TrialExecutor executor(s, 77);
+    for (std::uint32_t t = 0; t < s.trials; ++t) {
+      rows.push_back(executor.run(t).row);
+    }
+  }
+  EXPECT_EQ(campaign::trials_to_jsonl(rows),
+            campaign::trials_to_jsonl(batch.trials));
+}
+
+// --- coordinator -------------------------------------------------------------
+
+/// Drain a coordinator in-process: lease units and run them on a
+/// TrialExecutor, committing every row. Exercises the library API without
+/// sockets.
+void drain(Coordinator& coordinator, const std::vector<Scenario>& scenarios,
+           const std::string& worker) {
+  std::map<std::string, const Scenario*> by_name;
+  for (const Scenario& s : scenarios) by_name.emplace(s.name, &s);
+  while (!coordinator.done()) {
+    const std::optional<JobSpec> job = coordinator.lease(worker);
+    ASSERT_TRUE(job.has_value()) << "units leased out but campaign not done";
+    const campaign::TrialExecutor executor(*by_name.at(job->scenario),
+                                           job->master_seed);
+    for (std::uint32_t t = job->trial_begin; t < job->trial_end; ++t) {
+      (void)coordinator.commit(executor.run(t).row);
+    }
+  }
+}
+
+TEST(ServeCoordinator, FinalizeIsByteIdenticalToBatchRun) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 123);
+
+  for (const std::uint32_t unit_trials : {1u, 3u, 0u}) {
+    Coordinator::Config config;
+    config.master_seed = 123;
+    config.unit_trials = unit_trials;
+    Coordinator coordinator(config);
+    coordinator.load_campaign(scenarios);
+    drain(coordinator, scenarios, "w0");
+    const CampaignResult result = coordinator.finalize();
+    EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials);
+    EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries);
+  }
+}
+
+TEST(ServeCoordinator, ExpiredLeasesAreReissuedAndReplaysDedupe) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("serve/lease/one")};
+  Coordinator::Config config;
+  config.master_seed = 9;
+  config.unit_trials = 2;
+  config.lease_secs = 0.05;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+
+  // Worker A leases a unit, commits ONE of its two trials, then dies.
+  const std::optional<JobSpec> first = coordinator.lease("a");
+  ASSERT_TRUE(first.has_value());
+  const campaign::TrialExecutor executor(scenarios[0], 9);
+  EXPECT_EQ(coordinator.commit(executor.run(first->trial_begin).row),
+            Coordinator::Commit::Accepted);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  // The sweep requeues the unit for worker B...
+  const std::optional<JobSpec> second = coordinator.lease("b");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->unit, first->unit);
+  // ...whose re-run of the committed trial dedupes, and whose fresh trial
+  // commits.
+  EXPECT_EQ(coordinator.commit(executor.run(second->trial_begin).row),
+            Coordinator::Commit::Duplicate);
+  EXPECT_EQ(coordinator.commit(executor.run(second->trial_begin + 1).row),
+            Coordinator::Commit::Accepted);
+  EXPECT_EQ(coordinator.status().units_done, 1u);
+}
+
+TEST(ServeCoordinator, RejectsConflictingAndForeignCommits) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("serve/strict/one")};
+  Coordinator::Config config;
+  config.master_seed = 9;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+  (void)coordinator.lease("w");
+
+  const campaign::TrialExecutor executor(scenarios[0], 9);
+  const TrialRow row = executor.run(0).row;
+  EXPECT_EQ(coordinator.commit(row), Coordinator::Commit::Accepted);
+
+  TrialRow conflicting = row;
+  conflicting.sends += 1;  // different bytes for the same (scenario, trial)
+  EXPECT_THROW((void)coordinator.commit(conflicting), std::runtime_error);
+
+  TrialRow wrong_seed = executor.run(1).row;
+  wrong_seed.seed ^= 1;  // not the derived trial seed
+  EXPECT_THROW((void)coordinator.commit(wrong_seed), std::invalid_argument);
+
+  TrialRow unknown = row;
+  unknown.scenario = "serve/strict/other";
+  EXPECT_THROW((void)coordinator.commit(unknown), std::invalid_argument);
+}
+
+TEST(ServeCoordinator, ResumeSkipsJournaledTrialsAndStaysByteIdentical) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 321);
+
+  // First run journals everything, then "crashes" after 4 commits: keep a
+  // 4-line prefix plus a torn partial line, as a real crash would leave.
+  const TempPath journal("resume");
+  {
+    Coordinator::Config config;
+    config.master_seed = 321;
+    config.journal_path = journal.path;
+    Coordinator coordinator(config);
+    coordinator.load_campaign(scenarios);
+    drain(coordinator, scenarios, "w0");
+  }
+  const std::string full = read_file(journal.path);
+  std::size_t cut = 0;
+  for (int lines = 0; lines < 4; ++lines) cut = full.find('\n', cut) + 1;
+  std::ofstream(journal.path, std::ios::binary | std::ios::trunc)
+      << full.substr(0, cut) << full.substr(cut, 20);
+
+  Coordinator::Config config;
+  config.master_seed = 321;
+  config.journal_path = journal.path;
+  config.resume = true;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+  EXPECT_EQ(coordinator.status().resumed, 4u);
+  EXPECT_EQ(coordinator.status().committed, 4u);
+  drain(coordinator, scenarios, "w1");
+
+  const CampaignResult result = coordinator.finalize();
+  EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials);
+  EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries);
+
+  // The continued journal alone now reconstructs the whole campaign.
+  EXPECT_EQ(load_journal(journal.path).rows.size(), result.trials.size());
+}
+
+// --- socket stack: server + worker ------------------------------------------
+
+/// In-process "network": every connect() call makes a fresh socketpair and a
+/// server thread for its far end — exactly the per-connection model the
+/// accept loop provides, minus the listening socket.
+class LoopbackNet {
+ public:
+  explicit LoopbackNet(Server& server) : server_(server) {}
+
+  ~LoopbackNet() {
+    server_.request_stop();
+    for (std::thread& t : handlers_) t.join();
+  }
+
+  [[nodiscard]] std::function<int()> connector() {
+    return [this] {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return -1;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handlers_.emplace_back(
+            [this, fd = sv[1]] { server_.handle_connection(fd); });
+      }
+      return sv[0];
+    };
+  }
+
+ private:
+  Server& server_;
+  std::mutex mutex_;
+  std::vector<std::thread> handlers_;
+};
+
+TEST(ServeSocket, WorkerPoolsOfOneTwoFourAreByteIdentical) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 2024);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    Coordinator::Config config;
+    config.master_seed = 2024;
+    config.unit_trials = 1;  // maximum contention across the pool
+    Coordinator coordinator(config);
+    coordinator.load_campaign(scenarios);
+    Server server(coordinator, {});
+    LoopbackNet net(server);
+
+    std::vector<std::thread> pool;
+    std::vector<WorkerStats> stats(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        WorkerOptions options;
+        options.poll = std::chrono::milliseconds(10);
+        stats[w] = run_worker(net.connector(), scenarios, options);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+
+    std::size_t trials_run = 0;
+    for (const WorkerStats& s : stats) {
+      EXPECT_FALSE(s.stopped);
+      trials_run += s.trials;
+    }
+    EXPECT_GE(trials_run, coordinator.status().total_trials);
+
+    const CampaignResult result = coordinator.finalize();
+    EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials)
+        << workers << " workers";
+    EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries)
+        << workers << " workers";
+  }
+}
+
+TEST(ServeSocket, StoppedWorkerIsReplacedWithoutChangingTheBytes) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 55);
+
+  Coordinator::Config config;
+  config.master_seed = 55;
+  config.unit_trials = 2;
+  config.lease_secs = 0.2;  // fast reissue of the dead worker's unit
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+  Server server(coordinator, {});
+  LoopbackNet net(server);
+
+  // Worker A runs a slowed copy of the catalogue — a sleep in the adversary
+  // factory delays each trial without changing its bytes — so the stop
+  // (cooperative, standing in for kill -9, which the CI smoke test does on
+  // real processes) deterministically lands mid-campaign.
+  std::vector<Scenario> slowed = scenarios;
+  for (Scenario& s : slowed) {
+    s.adversary = [inner = s.adversary](std::uint64_t seed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      return inner(seed);
+    };
+  }
+  std::atomic<bool> kill_a{false};
+  std::thread a([&] {
+    WorkerOptions options;
+    options.poll = std::chrono::milliseconds(10);
+    options.stop = &kill_a;
+    (void)run_worker(net.connector(), slowed, options);
+  });
+  while (coordinator.status().committed == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill_a.store(true);
+  a.join();
+  ASSERT_FALSE(coordinator.done());
+
+  WorkerOptions options;
+  options.poll = std::chrono::milliseconds(10);
+  const WorkerStats b_stats = run_worker(net.connector(), scenarios, options);
+  EXPECT_FALSE(b_stats.stopped);
+
+  const CampaignResult result = coordinator.finalize();
+  EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials);
+  EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries);
+}
+
+TEST(ServeSocket, SubmitAndStatusDriveAnIdleCoordinator) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  campaign::ScenarioRegistry registry;
+  for (const Scenario& s : scenarios) registry.add(s);
+
+  Coordinator::Config config;
+  config.unit_trials = 2;
+  Coordinator coordinator(config);  // idle: no campaign loaded
+  Server::Options server_options;
+  server_options.registry = &registry;
+  Server server(coordinator, server_options);
+  LoopbackNet net(server);
+
+  const auto rpc = [&](const std::string& payload) {
+    const int fd = net.connector()();
+    EXPECT_GE(fd, 0);
+    EXPECT_TRUE(send_frame(fd, payload));
+    FrameReader reader;
+    bool timed_out = false;
+    const std::optional<std::string> reply =
+        recv_frame(fd, reader, 2000, &timed_out);
+    ::close(fd);
+    EXPECT_TRUE(reply.has_value());
+    return reply.value_or("");
+  };
+
+  EXPECT_NE(rpc("{\"type\":\"status\"}").find("\"loaded\":false"),
+            std::string::npos);
+  const std::string submitted =
+      rpc("{\"type\":\"submit\",\"filter\":\"harmonic\",\"seed\":7}");
+  EXPECT_NE(submitted.find("\"type\":\"submitted\""), std::string::npos);
+  EXPECT_NE(submitted.find("\"scenarios\":2"), std::string::npos);
+  EXPECT_NE(rpc("{\"type\":\"status\"}").find("\"loaded\":true"),
+            std::string::npos);
+  EXPECT_NE(rpc("{\"type\":\"submit\",\"filter\":\"no-such-scenario\"}")
+                .find("\"type\":\"error\""),
+            std::string::npos);
+
+  WorkerOptions options;
+  options.poll = std::chrono::milliseconds(10);
+  const WorkerStats stats = run_worker(net.connector(), scenarios, options);
+  EXPECT_EQ(stats.trials, 8u);  // the two harmonic scenarios, 4 trials each
+  EXPECT_TRUE(coordinator.done());
+}
+
+// --- engine cancel + resume --------------------------------------------------
+
+TEST(ServeEngine, CancelStopsBetweenTrialsAndResumeRowsCompleteTheRun) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  CampaignConfig reference_config;
+  reference_config.master_seed = 8;
+  const CampaignResult reference = run_campaign(scenarios, reference_config);
+
+  // A pre-raised cancel flag stops the run before any trial executes.
+  std::atomic<bool> cancel{true};
+  CampaignConfig cancelled_config;
+  cancelled_config.master_seed = 8;
+  cancelled_config.cancel = &cancel;
+  const CampaignResult cancelled = run_campaign(scenarios, cancelled_config);
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_TRUE(cancelled.summaries.empty());
+
+  // Resume with half the reference rows: the engine skips them and the
+  // merged output is byte-identical to the uninterrupted run.
+  const std::vector<TrialRow> half(
+      reference.trials.begin(),
+      reference.trials.begin() +
+          static_cast<std::ptrdiff_t>(reference.trials.size() / 2));
+  std::atomic<std::size_t> executed{0};
+  CampaignConfig resume_config;
+  resume_config.master_seed = 8;
+  resume_config.resume_rows = &half;
+  resume_config.observer = [&](const Scenario&, const TrialRow&,
+                               const SimResult&) { ++executed; };
+  const CampaignResult resumed = run_campaign(scenarios, resume_config);
+  EXPECT_EQ(executed.load(), reference.trials.size() - half.size());
+  EXPECT_EQ(campaign::trials_to_jsonl(resumed.trials),
+            campaign::trials_to_jsonl(reference.trials));
+  EXPECT_EQ(campaign::summaries_to_jsonl(resumed.summaries),
+            campaign::summaries_to_jsonl(reference.summaries));
+
+  // Rows whose seed does not match the derived stream are rejected.
+  std::vector<TrialRow> forged = half;
+  forged[0].seed ^= 1;
+  CampaignConfig forged_config;
+  forged_config.master_seed = 8;
+  forged_config.resume_rows = &forged;
+  EXPECT_THROW((void)run_campaign(scenarios, forged_config),
+               std::invalid_argument);
+}
+
+// --- broadcast contract ------------------------------------------------------
+
+TEST(ServeContract, CleanCampaignsSatisfyTheBroadcastContract) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  CampaignConfig config;
+  config.master_seed = 3;
+  campaign::ContractObserver contract;
+  contract.attach(config);
+  const CampaignResult result = run_campaign(scenarios, config);
+  EXPECT_EQ(contract.trials_checked(), result.trials.size());
+  EXPECT_TRUE(contract.violations().empty()) << contract.violations().front();
+}
+
+TEST(ServeContract, SyntheticViolationsAreDetected) {
+  const Scenario scenario = cheap_scenario("serve/contract/synthetic");
+
+  // Run trial 0 for a genuine SimResult, then tamper with it.
+  const campaign::TrialExecutor executor(scenario, 3);
+  const campaign::TrialExecutor::Outcome outcome = executor.run(0);
+  ASSERT_TRUE(
+      campaign::check_broadcast_contract(scenario, outcome.row, outcome.sim)
+          .empty());
+
+  SimResult created = outcome.sim;  // a token out of thin air
+  created.token_first.push_back(created.token_first.front());
+  SimResult duplicated = outcome.sim;  // first delivery after the horizon
+  duplicated.token_first[0][1] = duplicated.rounds_executed + 5;
+  duplicated.first_token = duplicated.token_first[0];
+  SimResult lying = outcome.sim;  // completion claim without delivery
+  lying.token_first[0][1] = kNever;
+  lying.first_token = lying.token_first[0];
+  SimResult disagreeing = outcome.sim;  // wrong completion round
+  disagreeing.completion_round += 1;
+
+  const std::vector<std::pair<const SimResult*, std::string>> tampered = {
+      {&created, "no-creation"},
+      {&duplicated, "no-duplication"},
+      {&lying, "validity"},
+      {&disagreeing, "agreement"}};
+  for (const auto& [result, property] : tampered) {
+    const std::vector<std::string> violations =
+        campaign::check_broadcast_contract(scenario, outcome.row, *result);
+    ASSERT_FALSE(violations.empty()) << property;
+    EXPECT_NE(violations.front().find(property), std::string::npos)
+        << violations.front();
+  }
+}
+
+// --- heartbeat promptness ----------------------------------------------------
+
+TEST(ServeHeartbeat, StopReturnsPromptlyMidInterval) {
+  obs::Heartbeat heartbeat;
+  std::atomic<int> ticks{0};
+  heartbeat.start(std::chrono::milliseconds(60'000), [&] { ++ticks; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  heartbeat.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // A sleep-based loop would block for the rest of the 60 s interval; the
+  // condition-variable wait returns immediately.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            std::chrono::milliseconds(1'000));
+  EXPECT_EQ(ticks.load(), 0);
+  heartbeat.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace dualrad::serve

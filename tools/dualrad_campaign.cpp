@@ -11,6 +11,8 @@
 // deterministic per-trial seeding: for a fixed --seed, all output files are
 // byte-identical regardless of --threads.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -24,6 +26,7 @@
 #include "mac/mac_latency.hpp"
 #include "obs/perfetto_writer.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/checkpoint.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -49,7 +52,18 @@ struct Options {
   std::string perfetto_path;
   std::string perfetto_scenario;
   unsigned heartbeat_secs = 0;
+  std::string journal_path;
+  std::string resume_path;
 };
+
+// SIGINT/SIGTERM raise this; the engine checks it between trials, so a ^C
+// mid-campaign flushes the journal (every committed row is already fsynced)
+// and exits nonzero instead of dying with partial in-memory state.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void on_cancel_signal(int) {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
 
 void usage() {
   std::puts(
@@ -80,6 +94,14 @@ void usage() {
       "                      above stay byte-identical either way\n"
       "  --heartbeat=SECS    print a progress line to stderr every SECS\n"
       "                      seconds (trials done/total, rounds/s, eta, rss)\n"
+      "  --journal=PATH      append every completed trial row to a crash-safe\n"
+      "                      checkpoint journal (whole-line writes + fsync).\n"
+      "                      On SIGINT/SIGTERM the campaign stops cleanly,\n"
+      "                      exits nonzero, and can be continued later\n"
+      "  --resume=PATH       load a checkpoint journal and skip its trials;\n"
+      "                      continues appending to the same file unless\n"
+      "                      --journal names another. The merged output is\n"
+      "                      byte-identical to an uninterrupted run\n"
       "  --perfetto=PATH     after the campaign, deterministically re-run one\n"
       "                      trial (trial 0 of --perfetto-scenario, default\n"
       "                      the first matching scenario) with telemetry and\n"
@@ -111,6 +133,10 @@ std::optional<Options> parse(int argc, char** argv) try {
       options.telemetry_jsonl_path = *v;
     } else if (auto v = value("--heartbeat=")) {
       options.heartbeat_secs = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--journal=")) {
+      options.journal_path = *v;
+    } else if (auto v = value("--resume=")) {
+      options.resume_path = *v;
     } else if (auto v = value("--perfetto-scenario=")) {
       options.perfetto_scenario = *v;
     } else if (auto v = value("--perfetto=")) {
@@ -242,10 +268,14 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  const Options& options = *parsed;
+  Options options = *parsed;
   if (options.help) {
     usage();
     return 0;
+  }
+  // Resuming implies continuing the same journal unless told otherwise.
+  if (!options.resume_path.empty() && options.journal_path.empty()) {
+    options.journal_path = options.resume_path;
   }
   try {
     const campaign::ScenarioRegistry registry = campaign::builtin_registry();
@@ -270,6 +300,35 @@ int main(int argc, char** argv) {
     config.collect_telemetry = !options.telemetry_jsonl_path.empty();
     config.heartbeat_secs = options.heartbeat_secs;
 
+    // Checkpoint/resume plumbing. The journal sees each row as it commits
+    // (under the engine's serialization lock); resume rows fill their slots
+    // without re-execution, and the engine validates their seeds so a wrong
+    // --seed or grid fails loudly instead of merging foreign rows.
+    std::vector<campaign::TrialRow> resume_rows;
+    if (!options.resume_path.empty()) {
+      const serve::JournalLoad loaded = serve::load_journal(options.resume_path);
+      serve::truncate_torn_tail(options.resume_path, loaded);
+      resume_rows = loaded.rows;
+      std::fprintf(stderr,
+                   "[campaign] resume: %zu committed trial(s) from %s%s\n",
+                   resume_rows.size(), options.resume_path.c_str(),
+                   loaded.dropped_torn_tail ? " (dropped torn tail line)" : "");
+      config.resume_rows = &resume_rows;
+    }
+    serve::JournalWriter journal;
+    if (!options.journal_path.empty()) {
+      journal.open(options.journal_path);
+      config.row_sink = [&journal](const campaign::TrialRow& row,
+                                   const campaign::TelemetryRow*) {
+        campaign::TrialRow untimed = row;
+        untimed.wall_us = -1;
+        journal.append(untimed);
+      };
+    }
+    std::signal(SIGINT, on_cancel_signal);
+    std::signal(SIGTERM, on_cancel_signal);
+    config.cancel = &g_cancel;
+
     // --mac-jsonl: measure f_ack / f_prog per trial from the full SimResult
     // (progress latency is meaningful for any broadcast scenario; the ack
     // columns are -1 outside MAC workloads).
@@ -281,6 +340,21 @@ int main(int argc, char** argv) {
 
     const campaign::CampaignResult result =
         campaign::run_campaign(scenarios, config);
+
+    if (result.cancelled) {
+      if (!options.journal_path.empty()) {
+        std::fprintf(stderr,
+                     "[campaign] interrupted — journal %s is durable; "
+                     "continue with --resume=%s\n",
+                     options.journal_path.c_str(),
+                     options.journal_path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "[campaign] interrupted — no --journal, partial results "
+                     "discarded\n");
+      }
+      return 130;
+    }
 
     if (!options.jsonl_path.empty()) {
       campaign::write_file(

@@ -1,0 +1,500 @@
+// dualrad_serve — campaign service mode: a persistent coordinator that
+// dispatches work units to a pool of worker processes over Unix-domain or
+// TCP sockets, with a crash-safe checkpoint journal.
+//
+// Examples:
+//   # coordinator with an in-process listener, 4 forked workers, journal:
+//   dualrad_serve serve --listen=/tmp/dualrad.sock --filter=dual
+//       --journal=camp.journal --spawn=4 --jsonl=trials.jsonl
+//
+//   # external workers (any mix of machines for TCP endpoints):
+//   dualrad_serve serve --listen=:7421 --filter=dual --journal=camp.journal
+//   dualrad_serve worker --connect=:7421
+//   dualrad_serve status --connect=:7421
+//
+//   # after a coordinator crash, resume from the journal — the merged
+//   # export is byte-identical to an uninterrupted run:
+//   dualrad_serve serve --listen=:7421 --filter=dual
+//       --journal=camp.journal --resume --jsonl=trials.jsonl
+//
+// Determinism contract: every trial is a pure function of (scenario, master
+// seed, trial index), so the coordinator's merged output is byte-identical
+// for ANY worker count, any unit size, any interleaving, and any number of
+// crashes/retries — the tests pin this.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/builtin_scenarios.hpp"
+#include "campaign/export.hpp"
+#include "campaign/jsonl.hpp"
+#include "obs/heartbeat.hpp"
+#include "serve/coordinator.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace dualrad;
+namespace jsonl = campaign::jsonl;
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+}
+
+struct Options {
+  std::string command;
+  std::string listen;
+  std::string connect;
+  std::string filter;
+  std::uint64_t seed = 1;
+  std::size_t trials = 0;
+  std::uint32_t unit_trials = 4;
+  double lease_secs = 30.0;
+  std::string journal_path;
+  bool resume = false;
+  bool idle = false;
+  unsigned threads_per_trial = 0;
+  unsigned spawn = 0;
+  unsigned heartbeat_secs = 0;
+  std::string worker_id;
+  std::string jsonl_path;
+  std::string csv_path;
+  std::string summary_jsonl_path;
+  std::string summary_csv_path;
+  std::string telemetry_jsonl_path;
+  bool telemetry_wanted = false;
+  bool quiet = false;
+  bool help = false;
+};
+
+void usage() {
+  std::puts(
+      "usage: dualrad_serve <serve|worker|submit|status> [options]\n"
+      "\n"
+      "serve — run the coordinator\n"
+      "  --listen=EP         endpoint: a path => Unix socket, host:port or\n"
+      "                      :port => TCP (required)\n"
+      "  --filter=SUBSTR     scenarios to run (default: all); with --idle,\n"
+      "                      wait for a `submit` instead\n"
+      "  --seed=N            master seed (default 1)\n"
+      "  --trials=N          override every scenario's trial count\n"
+      "  --unit-trials=N     trials per work unit / lease (default 4;\n"
+      "                      0 = one unit per scenario)\n"
+      "  --lease-secs=S      requeue a unit not committed within S seconds\n"
+      "                      (default 30)\n"
+      "  --journal=PATH      crash-safe checkpoint journal (recommended)\n"
+      "  --resume            load --journal first and skip committed trials\n"
+      "  --threads-per-trial=N  dispatched to workers in every unit\n"
+      "  --telemetry         collect per-trial telemetry rows from workers\n"
+      "  --spawn=N           fork N worker processes connected to --listen\n"
+      "  --heartbeat=SECS    print coordinator status every SECS seconds\n"
+      "  --jsonl/--csv/--summary-jsonl/--summary-csv/--telemetry-jsonl=PATH\n"
+      "                      exports, byte-identical to a batch run\n"
+      "  --quiet             suppress the summary table\n"
+      "\n"
+      "worker — run one worker process\n"
+      "  --connect=EP        coordinator endpoint (required)\n"
+      "  --id=NAME           stable worker id (default: assigned)\n"
+      "  --threads-per-trial=N  override the coordinator's value\n"
+      "\n"
+      "submit — load a campaign into an --idle coordinator\n"
+      "  --connect=EP --filter=SUBSTR [--seed=N --trials=N]\n"
+      "\n"
+      "status — print coordinator status\n"
+      "  --connect=EP\n");
+}
+
+std::optional<Options> parse(int argc, char** argv) try {
+  Options options;
+  if (argc < 2) return std::nullopt;
+  options.command = argv[1];
+  if (options.command == "--help" || options.command == "-h") {
+    options.help = true;
+    return options;
+  }
+  bool telemetry = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::optional<std::string> {
+      const std::string p(prefix);
+      if (arg.rfind(p, 0) == 0) return arg.substr(p.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--idle") {
+      options.idle = true;
+    } else if (arg == "--telemetry") {
+      telemetry = true;
+    } else if (auto v = value("--listen=")) {
+      options.listen = *v;
+    } else if (auto v = value("--connect=")) {
+      options.connect = *v;
+    } else if (auto v = value("--filter=")) {
+      options.filter = *v;
+    } else if (auto v = value("--seed=")) {
+      options.seed = std::stoull(*v);
+    } else if (auto v = value("--trials=")) {
+      options.trials = std::stoul(*v);
+    } else if (auto v = value("--unit-trials=")) {
+      options.unit_trials = static_cast<std::uint32_t>(std::stoul(*v));
+    } else if (auto v = value("--lease-secs=")) {
+      options.lease_secs = std::stod(*v);
+    } else if (auto v = value("--journal=")) {
+      options.journal_path = *v;
+    } else if (auto v = value("--threads-per-trial=")) {
+      options.threads_per_trial = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--spawn=")) {
+      options.spawn = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--heartbeat=")) {
+      options.heartbeat_secs = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--id=")) {
+      options.worker_id = *v;
+    } else if (auto v = value("--jsonl=")) {
+      options.jsonl_path = *v;
+    } else if (auto v = value("--csv=")) {
+      options.csv_path = *v;
+    } else if (auto v = value("--summary-jsonl=")) {
+      options.summary_jsonl_path = *v;
+    } else if (auto v = value("--summary-csv=")) {
+      options.summary_csv_path = *v;
+    } else if (auto v = value("--telemetry-jsonl=")) {
+      options.telemetry_jsonl_path = *v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  options.telemetry_wanted = telemetry || !options.telemetry_jsonl_path.empty();
+  return options;
+} catch (const std::exception&) {
+  std::fprintf(stderr, "malformed numeric argument\n");
+  return std::nullopt;
+}
+
+/// One-shot request/response for the submit/status clients.
+std::optional<std::string> rpc(const std::string& endpoint,
+                               const std::string& payload) {
+  const int fd = serve::connect_endpoint(endpoint);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s\n", endpoint.c_str());
+    return std::nullopt;
+  }
+  std::optional<std::string> reply;
+  if (serve::send_frame(fd, payload)) {
+    serve::FrameReader reader;
+    bool timed_out = false;
+    reply = serve::recv_frame(fd, reader, /*timeout_ms=*/10'000, &timed_out);
+    if (!reply.has_value()) {
+      std::fprintf(stderr, timed_out ? "request timed out\n"
+                                     : "connection closed mid-request\n");
+    }
+  } else {
+    std::fprintf(stderr, "send failed\n");
+  }
+  ::close(fd);
+  return reply;
+}
+
+void print_summaries(const campaign::CampaignResult& result) {
+  stats::Table table({"scenario", "trials", "failed", "mean rounds", "median",
+                      "p90", "mean sends"});
+  for (const campaign::ScenarioSummary& s : result.summaries) {
+    const bool any = s.rounds.count > 0;
+    table.add_row({s.scenario, std::to_string(s.trials),
+                   std::to_string(s.failures),
+                   any ? stats::Table::num(s.rounds.mean, 1) : "-",
+                   any ? stats::Table::num(s.rounds.median, 1) : "-",
+                   any ? stats::Table::num(s.rounds.p90, 1) : "-",
+                   stats::Table::num(s.mean_sends, 1)});
+  }
+  table.print(std::cout);
+}
+
+int run_serve(const Options& options) {
+  if (options.listen.empty()) {
+    std::fprintf(stderr, "serve requires --listen=ENDPOINT\n");
+    return 2;
+  }
+  const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+
+  serve::Coordinator::Config config;
+  config.master_seed = options.seed;
+  config.trials_override = options.trials;
+  config.unit_trials = options.unit_trials;
+  config.lease_secs = options.lease_secs;
+  config.journal_path = options.journal_path;
+  config.resume = options.resume;
+  config.threads_per_trial =
+      options.threads_per_trial != 0 ? options.threads_per_trial : 1;
+  config.collect_telemetry = options.telemetry_wanted;
+  serve::Coordinator coordinator(config);
+
+  if (!options.idle) {
+    const std::vector<campaign::Scenario> scenarios =
+        registry.match(options.filter);
+    if (scenarios.empty()) {
+      std::fprintf(stderr, "no scenario matches filter '%s'\n",
+                   options.filter.c_str());
+      return 1;
+    }
+    coordinator.load_campaign(scenarios);
+    const serve::Coordinator::Status s = coordinator.status();
+    std::fprintf(stderr,
+                 "[serve] campaign loaded: %zu scenario(s), %zu trial(s)%s\n",
+                 s.scenarios, s.total_trials,
+                 s.resumed != 0
+                     ? (" (" + std::to_string(s.resumed) + " resumed)").c_str()
+                     : "");
+  }
+
+  const int listen_fd = serve::listen_endpoint(options.listen);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "cannot listen on %s\n", options.listen.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[serve] listening on %s\n", options.listen.c_str());
+
+  serve::Server::Options server_options;
+  server_options.registry = &registry;
+  serve::Server server(coordinator, server_options);
+  std::thread accept_thread([&] { server.run_accept_loop(listen_fd); });
+
+  // --spawn: fork workers exec'ing this binary's worker subcommand, so the
+  // one-machine case needs a single command line. Each child is a full
+  // process (own address space, own sockets) — kill -9 on one exercises the
+  // same lease-requeue path as losing a remote machine.
+  std::vector<pid_t> children;
+  for (unsigned i = 0; i < options.spawn; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      const std::string connect_arg = "--connect=" + options.listen;
+      ::execl("/proc/self/exe", "dualrad_serve", "worker", connect_arg.c_str(),
+              static_cast<char*>(nullptr));
+      std::perror("execl");
+      ::_exit(127);
+    }
+    if (pid > 0) children.push_back(pid);
+  }
+
+  install_signal_handlers();
+
+  obs::Heartbeat heartbeat;
+  if (options.heartbeat_secs > 0) {
+    heartbeat.start(std::chrono::seconds(options.heartbeat_secs), [&] {
+      const serve::Coordinator::Status s = coordinator.status();
+      std::fprintf(stderr,
+                   "[serve] %zu/%zu trials | units %zu pending %zu leased "
+                   "%zu done | %zu worker(s)\n",
+                   s.committed, s.total_trials, s.units_pending,
+                   s.units_leased, s.units_done, s.workers);
+    });
+  }
+
+  bool interrupted = false;
+  for (;;) {
+    if (g_stop.load(std::memory_order_relaxed)) {
+      interrupted = true;
+      break;
+    }
+    if (coordinator.campaign_loaded() &&
+        coordinator.wait_done(std::chrono::milliseconds(200))) {
+      break;
+    }
+    if (!coordinator.campaign_loaded()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  heartbeat.stop();
+
+  if (!interrupted) {
+    // Let workers hear "done" on their next lease poll before the listener
+    // goes away; spawned children are reaped so their exit is observable.
+    if (!children.empty()) {
+      for (const pid_t pid : children) {
+        int wstatus = 0;
+        (void)::waitpid(pid, &wstatus, 0);
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+  } else {
+    for (const pid_t pid : children) (void)::kill(pid, SIGTERM);
+    for (const pid_t pid : children) {
+      int wstatus = 0;
+      (void)::waitpid(pid, &wstatus, 0);
+    }
+  }
+
+  server.request_stop();
+  accept_thread.join();
+  ::close(listen_fd);
+
+  if (interrupted) {
+    if (!options.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "[serve] interrupted — journal %s is durable; restart with "
+                   "--resume to continue\n",
+                   options.journal_path.c_str());
+    } else {
+      std::fprintf(stderr, "[serve] interrupted — no --journal, progress "
+                           "discarded\n");
+    }
+    return 130;
+  }
+
+  const campaign::CampaignResult result = coordinator.finalize();
+  if (!options.jsonl_path.empty()) {
+    campaign::write_file(options.jsonl_path,
+                         campaign::trials_to_jsonl(result.trials));
+  }
+  if (!options.csv_path.empty()) {
+    campaign::write_file(options.csv_path,
+                         campaign::trials_to_csv(result.trials));
+  }
+  if (!options.summary_jsonl_path.empty()) {
+    campaign::write_file(options.summary_jsonl_path,
+                         campaign::summaries_to_jsonl(result.summaries));
+  }
+  if (!options.summary_csv_path.empty()) {
+    campaign::write_file(options.summary_csv_path,
+                         campaign::summaries_to_csv(result.summaries));
+  }
+  if (!options.telemetry_jsonl_path.empty()) {
+    campaign::write_file(options.telemetry_jsonl_path,
+                         campaign::telemetry_to_jsonl(result.telemetry));
+  }
+  if (!options.quiet) print_summaries(result);
+  return 0;
+}
+
+int run_worker_command(const Options& options) {
+  if (options.connect.empty()) {
+    std::fprintf(stderr, "worker requires --connect=ENDPOINT\n");
+    return 2;
+  }
+  install_signal_handlers();
+  const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+  serve::WorkerOptions worker_options;
+  worker_options.worker_id = options.worker_id;
+  worker_options.threads_per_trial = options.threads_per_trial;
+  worker_options.stop = &g_stop;
+  if (!options.quiet) {
+    worker_options.log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  const std::string endpoint = options.connect;
+  const serve::WorkerStats stats = serve::run_worker(
+      [&endpoint] { return serve::connect_endpoint(endpoint); },
+      registry.all(), worker_options);
+  std::fprintf(stderr,
+               "[worker %s] %s: %zu unit(s), %zu trial(s), %zu duplicate "
+               "commit(s), %zu reconnect(s)\n",
+               stats.worker_id.c_str(), stats.stopped ? "stopped" : "done",
+               stats.units, stats.trials, stats.duplicates, stats.reconnects);
+  return stats.stopped ? 130 : 0;
+}
+
+int run_submit(const Options& options) {
+  if (options.connect.empty()) {
+    std::fprintf(stderr, "submit requires --connect=ENDPOINT\n");
+    return 2;
+  }
+  std::string payload = "{\"type\":\"submit\"";
+  payload += ",\"filter\":\"" + options.filter + "\"";
+  payload += ",\"seed\":" + std::to_string(options.seed);
+  payload += ",\"trials\":" + std::to_string(options.trials);
+  payload += "}";
+  const std::optional<std::string> reply = rpc(options.connect, payload);
+  if (!reply.has_value()) return 1;
+  if (jsonl::field(*reply, "type") == "error") {
+    std::fprintf(stderr, "submit rejected: %s\n",
+                 std::string(jsonl::field(*reply, "message")).c_str());
+    return 1;
+  }
+  std::printf("submitted: %s scenario(s), %s trial(s)\n",
+              std::string(jsonl::field(*reply, "scenarios")).c_str(),
+              std::string(jsonl::field(*reply, "total_trials")).c_str());
+  return 0;
+}
+
+int run_status(const Options& options) {
+  if (options.connect.empty()) {
+    std::fprintf(stderr, "status requires --connect=ENDPOINT\n");
+    return 2;
+  }
+  const std::optional<std::string> reply =
+      rpc(options.connect, "{\"type\":\"status\"}");
+  if (!reply.has_value()) return 1;
+  if (jsonl::field(*reply, "type") != "state") {
+    std::fprintf(stderr, "unexpected reply: %s\n", reply->c_str());
+    return 1;
+  }
+  const auto show = [&](const char* key) {
+    std::printf("%-14s %s\n", key,
+                std::string(jsonl::field(*reply, key)).c_str());
+  };
+  show("loaded");
+  show("finished");
+  show("scenarios");
+  show("total_trials");
+  show("committed");
+  show("resumed");
+  show("units_pending");
+  show("units_leased");
+  show("units_done");
+  show("workers");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> parsed = parse(argc, argv);
+  if (!parsed.has_value()) {
+    usage();
+    return 2;
+  }
+  const Options& options = *parsed;
+  if (options.help) {
+    usage();
+    return 0;
+  }
+  try {
+    if (options.command == "serve") return run_serve(options);
+    if (options.command == "worker") return run_worker_command(options);
+    if (options.command == "submit") return run_submit(options);
+    if (options.command == "status") return run_status(options);
+    std::fprintf(stderr, "unknown command: %s\n", options.command.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
