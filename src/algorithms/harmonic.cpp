@@ -25,6 +25,7 @@ double harmonic_probability(Round t, Round token_round, Round T) {
 
 Round harmonic_round_bound(NodeId n, Round T) {
   double h = 0.0;
+  // lint: fp-ok (serial loop in fixed 1..n order, never sharded)
   for (NodeId i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
   return static_cast<Round>(
       std::ceil(2.0 * static_cast<double>(n) * static_cast<double>(T) * h));

@@ -10,12 +10,14 @@ namespace dualrad::wakeup {
 double probability_sum(const std::vector<Round>& pattern, Round t, Round T) {
   DUALRAD_REQUIRE(T >= 1, "T must be positive");
   double sum = 0.0;
+  // lint: fp-ok (serial loop in the caller-given pattern order)
   for (Round tv : pattern) sum += harmonic_probability(t, tv, T);
   return sum;
 }
 
 Round lemma15_bound(NodeId n, Round T) {
   double h = 0.0;
+  // lint: fp-ok (serial loop in fixed 1..n order, never sharded)
   for (NodeId i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
   return static_cast<Round>(std::ceil(static_cast<double>(n) *
                                       static_cast<double>(T) * h));

@@ -15,6 +15,10 @@
 
 namespace dualrad {
 
+// __extension__ keeps -Wpedantic quiet: __int128 is a GCC/Clang extension,
+// used only for overflow-free multiply-shift range reduction.
+__extension__ typedef unsigned __int128 uint128_t;
+
 /// SplitMix64 finalizer; a high-quality 64-bit mix.
 [[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -63,7 +67,7 @@ class CounterRng {
     DUALRAD_REQUIRE(bound > 0, "below() needs positive bound");
     // Multiply-shift; bias is negligible for the bounds used here.
     return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(bits(round, salt)) * bound) >> 64);
+        (static_cast<uint128_t>(bits(round, salt)) * bound) >> 64);
   }
 
  private:
@@ -103,7 +107,7 @@ class StreamRng {
   [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
     DUALRAD_REQUIRE(bound > 0, "below() needs positive bound");
     return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+        (static_cast<uint128_t>((*this)()) * bound) >> 64);
   }
 
  private:

@@ -37,6 +37,7 @@ MacLatencySummary measure_mac_latency(const DualGraph& net,
       if (avail == kNever || avail >= got) continue;
       const Round latency = got - avail;
       ++summary.prog_samples;
+      // lint: fp-ok (post-run analysis in fixed token/node order)
       prog_sum += static_cast<double>(latency);
       summary.prog_max = std::max(summary.prog_max, latency);
     }
@@ -54,6 +55,7 @@ MacLatencySummary measure_mac_latency(const DualGraph& net,
     } else if (name == kMacAckMaxMetric) {
       ack_max = std::max(ack_max, metric.value);
     } else if (name == kMacAckSumMetric) {
+      // lint: fp-ok (post-run reduction in SimResult metric order)
       ack_sum += metric.value;
     } else if (name == kMacPendingMetric) {
       summary.pending += static_cast<std::uint64_t>(metric.value);

@@ -6,8 +6,12 @@ namespace dualrad::obs {
 
 void Heartbeat::start(std::chrono::milliseconds period,
                       std::function<void()> tick) {
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_);
   if (thread_.joinable() || period.count() <= 0 || !tick) return;
+  // No reporter thread exists yet, so this write needs no mutex_; the
+  // std::thread constructor below synchronizes-with the new thread.
   stop_ = false;
+  running_.store(true, std::memory_order_release);
   thread_ = std::thread([this, period, tick = std::move(tick)] {
     std::unique_lock<std::mutex> lock(mutex_);
     while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
@@ -20,6 +24,10 @@ void Heartbeat::start(std::chrono::milliseconds period,
 }
 
 void Heartbeat::stop() {
+  // lifecycle_ (not mutex_) serializes concurrent stop() calls: joining
+  // under mutex_ would deadlock against a tick wait, and joining without a
+  // lock would let two racing stop() calls both reach thread_.join().
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_);
   if (!thread_.joinable()) return;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -27,6 +35,7 @@ void Heartbeat::stop() {
   }
   cv_.notify_one();
   thread_.join();
+  running_.store(false, std::memory_order_release);
 }
 
 }  // namespace dualrad::obs

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -14,6 +15,15 @@
 /// effect immediately: a job that finishes after 50 ms never pays out a
 /// 60 s heartbeat interval at shutdown. Used by the campaign engine's
 /// progress heartbeat and the serve-mode coordinator's status stream.
+///
+/// Thread-safety: start(), stop() and running() may be called from any
+/// thread, concurrently. Lifecycle transitions are serialized by their own
+/// mutex (separate from the tick wait's mutex, so a stop() can never
+/// deadlock against a tick in flight), and running() reads an atomic flag
+/// rather than touching the std::thread object that start()/stop()
+/// mutate — reading thread_.joinable() here used to be a data race under
+/// concurrent stop() (caught by inspection while wiring the TSan CI job;
+/// regression-tested in test_serve ServeHeartbeat.ConcurrentObserversAndStop).
 
 namespace dualrad::obs {
 
@@ -30,14 +40,19 @@ class Heartbeat {
   void start(std::chrono::milliseconds period, std::function<void()> tick);
 
   /// Stop promptly (without waiting out the current period) and join.
-  /// Idempotent; safe to call when never started. The callback is never
-  /// invoked again after stop() returns.
+  /// Idempotent and safe to race with other stop() calls; safe to call
+  /// when never started. The callback is never invoked again after the
+  /// first stop() returns.
   void stop();
 
-  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
 
  private:
-  std::mutex mutex_;
+  std::mutex lifecycle_;  ///< serializes start()/stop() against each other
+  std::atomic<bool> running_{false};
+  std::mutex mutex_;  ///< guards stop_, paired with cv_ for the tick wait
   std::condition_variable cv_;
   bool stop_ = false;
   std::thread thread_;

@@ -14,7 +14,8 @@ std::uint64_t min_prime_for(std::uint64_t n, std::uint32_t m,
                             std::uint64_t lo) {
   // q >= ceil(n^(1/m))
   auto pow_ge = [](std::uint64_t q, std::uint32_t m, std::uint64_t n) {
-    unsigned __int128 acc = 1;
+    // __extension__: __int128 is a GCC/Clang extension (silences -Wpedantic).
+    __extension__ unsigned __int128 acc = 1;
     for (std::uint32_t i = 0; i < m; ++i) {
       acc *= q;
       if (acc >= n) return true;

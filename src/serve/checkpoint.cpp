@@ -11,6 +11,7 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <string_view>
 #include <utility>
 
@@ -20,6 +21,12 @@
 namespace dualrad::serve {
 
 namespace {
+
+/// strerror() is not thread-safe (concurrency-mt-unsafe); the error_code
+/// formatter is, and journal errors can surface from any worker thread.
+[[nodiscard]] std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
 
 [[nodiscard]] std::string crc_hex(std::uint32_t crc) {
   char buf[16];
@@ -120,7 +127,7 @@ void truncate_torn_tail(const std::string& path, const JournalLoad& load) {
   if (load.dropped_torn_tail == 0) return;
   if (::truncate(path.c_str(), static_cast<off_t>(load.valid_bytes)) != 0) {
     throw std::runtime_error("dualrad: cannot truncate torn journal tail in " +
-                             path + ": " + std::strerror(errno));
+                             path + ": " + errno_message());
   }
 }
 
@@ -129,7 +136,7 @@ void JournalWriter::open(const std::string& path, bool fsync_each) {
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("dualrad: cannot open journal " + path + ": " +
-                             std::strerror(errno));
+                             errno_message());
   }
   fsync_each_ = fsync_each;
 }
@@ -144,7 +151,7 @@ void JournalWriter::append(const campaign::TrialRow& row) {
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("dualrad: journal write failed: ") +
-                               std::strerror(errno));
+                               errno_message());
     }
     written += static_cast<std::size_t>(n);
   }

@@ -1,0 +1,15 @@
+// Fixture: pointer-keyed ordered containers and pointer comparators.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node {};
+
+std::map<Node*, int> rank_by_node;           // finding: pointer key
+std::set<const Node*> visited;               // finding: pointer key
+std::set<Node*, std::less<Node*>> sorted;    // finding: pointer key + less
+
+// Negatives: pointers as *values* are fine — only key order matters.
+std::map<std::string, Node*> node_by_name;
+std::map<int, const Node*> node_by_id;
+std::set<int> plain_ids;

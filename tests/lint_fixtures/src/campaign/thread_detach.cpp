@@ -1,0 +1,12 @@
+// Fixture: naked std::thread::detach().
+#include <thread>
+
+void fire_and_forget() {
+  std::thread t([] {});
+  t.detach();  // finding: detach
+}
+
+void joined_is_fine() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,14 @@
+// Fixture: a clean result-path file. Mentions of forbidden patterns in
+// comments and string literals must not fire:
+//   rand() srand() time(nullptr) std::unordered_map iteration detach()
+#include <string>
+
+/* block comment spanning
+   lines with rand() and clock() inside */
+
+const char* kHelp =
+    "seed with srand(), never rand(); std::random_device is banned";
+
+const char* kRaw = R"(rand() time(nullptr) .detach() inside a raw string)";
+
+int answer() { return 42; }

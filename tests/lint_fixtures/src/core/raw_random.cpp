@@ -1,0 +1,18 @@
+// Fixture: every raw randomness source the raw-random rule must catch.
+#include <cstdlib>
+#include <random>  // finding: #include <random>
+
+int draw_rand() { return rand(); }        // finding: C rand()
+void reseed() { srand(42); }              // finding: srand()
+
+unsigned device_draw() {
+  std::random_device rd;                  // finding: std::random_device
+  std::mt19937 gen(rd());                 // finding: std::mt19937
+  return gen();
+}
+
+// Negatives: the rule must not fire on lookalike identifiers or text in
+// comments/strings. rand() in a comment is fine.
+int operand(int x) { return x; }
+const char* kDoc = "call rand() for chaos";
+int dualrad_value() { return 7; }

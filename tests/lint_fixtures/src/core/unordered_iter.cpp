@@ -1,0 +1,36 @@
+// Fixture: iteration over unordered containers in a result-affecting path.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int iterate_map() {
+  std::unordered_map<int, int> counts;
+  int sum = 0;
+  for (const auto& [k, v] : counts) sum += v;  // finding: range-for
+  return sum;
+}
+
+int iterate_begin() {
+  std::unordered_set<int> seen;
+  return *seen.begin();  // finding: .begin()
+}
+
+// Negatives: lookups compare against .end() only — that is not iteration.
+bool lookup(const std::unordered_map<int, int>& counts_by_key, int k) {
+  const std::unordered_map<int, int>& index = counts_by_key;
+  return index.find(k) != index.end();
+}
+
+int annotated_iteration() {
+  std::unordered_set<int> pool;
+  int parity = 0;
+  // lint: ordered-ok (fixture: XOR fold is order-insensitive)
+  for (int v : pool) parity ^= v;
+  return parity;
+}
+
+int ordered_is_fine(const std::vector<int>& xs) {
+  int sum = 0;
+  for (int x : xs) sum += x;
+  return sum;
+}

@@ -1,0 +1,24 @@
+// Fixture: wall-clock reads in a result-affecting path.
+#include <chrono>
+#include <ctime>
+
+long now_seconds() { return time(nullptr); }  // finding: time()
+long cpu_ticks() { return clock(); }          // finding: clock()
+
+long epoch_ms() {
+  using std::chrono::system_clock;  // finding: system_clock
+  return 0;
+}
+
+// Negatives: steady_clock is monotonic and allowed; annotated reads pass.
+long mono() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long annotated() {
+  // lint: wallclock-ok (fixture: value feeds a log line, never a result)
+  return time(nullptr);
+}
+
+long elapsed_time(long start_time) { return start_time; }  // lookalike ident

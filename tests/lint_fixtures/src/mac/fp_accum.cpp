@@ -1,0 +1,30 @@
+// Fixture: floating-point accumulation in an engine hot path.
+#include <cstdint>
+#include <vector>
+
+double mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;  // finding: fp compound assignment
+  return sum;
+}
+
+double scaled(double acc, double f) {
+  acc *= f;  // finding: fp compound assignment
+  return acc;
+}
+
+// Negatives: integer accumulation, and annotated deterministic reductions.
+// (Identifier tracking is file-scoped, so the integer accumulator uses a
+// name no floating-point variable shares.)
+std::uint64_t total(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t isum = 0;
+  for (const std::uint64_t x : xs) isum += x;
+  return isum;
+}
+
+double annotated_mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  // lint: fp-ok (fixture: serial loop in vector order, never sharded)
+  for (double x : xs) sum += x;
+  return sum;
+}

@@ -1,0 +1,7 @@
+// Fixture: obs/ is exempt from raw-random and the wall-clock rule does not
+// cover it — observability is out-of-band by construction.
+#include <cstdlib>
+#include <ctime>
+
+long jitter() { return rand() % 100; }
+long stamp() { return time(nullptr); }

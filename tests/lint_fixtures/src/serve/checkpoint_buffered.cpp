@@ -1,0 +1,15 @@
+// Fixture: a checkpoint path using buffered writes and a bare ::write()
+// without the O_APPEND + fsync discipline.
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+void journal_with_ofstream(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);  // finding: buffered stream
+  out << line;
+}
+
+void journal_with_write(int fd, const std::string& line) {
+  // finding (file-level): ::write without O_APPEND/fsync anywhere here
+  (void)::write(fd, line.data(), line.size());
+}

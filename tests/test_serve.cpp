@@ -671,5 +671,84 @@ TEST(ServeHeartbeat, StopReturnsPromptlyMidInterval) {
   heartbeat.stop();  // idempotent
 }
 
+// Regression (found while wiring the TSan CI job): running() used to read
+// thread_.joinable() while stop() concurrently joined and start() assigned
+// the std::thread — a data race — and two racing stop() calls could both
+// reach thread_.join(). The lifecycle mutex + atomic running_ flag make
+// every combination safe; this test is the TSan witness for that contract.
+TEST(ServeHeartbeat, ConcurrentObserversAndStop) {
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    obs::Heartbeat heartbeat;
+    std::atomic<int> ticks{0};
+    heartbeat.start(std::chrono::milliseconds(1), [&] { ++ticks; });
+    std::atomic<bool> quit{false};
+    std::thread observer([&] {
+      while (!quit.load()) {
+        (void)heartbeat.running();
+      }
+    });
+    std::thread racing_stop([&] { heartbeat.stop(); });
+    heartbeat.stop();
+    racing_stop.join();
+    EXPECT_FALSE(heartbeat.running());
+    quit.store(true);
+    observer.join();
+    const int after_stop = ticks.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // The callback is never invoked again after stop() returns.
+    EXPECT_EQ(ticks.load(), after_stop);
+  }
+}
+
+// Coordinator status snapshots race against lease/commit traffic in serve
+// mode (one thread per connection); hammer them concurrently so TSan can
+// prove the locking, and check the final snapshot is coherent.
+TEST(ServeCoordinator, ConcurrentStatusDuringCommits) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  std::map<std::string, const Scenario*> by_name;
+  for (const Scenario& s : scenarios) by_name.emplace(s.name, &s);
+
+  Coordinator::Config config;
+  config.master_seed = 99;
+  config.unit_trials = 2;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+
+  std::atomic<bool> quit{false};
+  std::thread status_poller([&] {
+    while (!quit.load()) {
+      const Coordinator::Status s = coordinator.status();
+      EXPECT_LE(s.committed, s.total_trials);
+      (void)coordinator.done();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&] {
+      // lease() hands out nullopt once no unit is Pending, so workers
+      // drain whatever they hold and exit; the union of all workers'
+      // commits covers the campaign.
+      while (const std::optional<JobSpec> job = coordinator.lease("stress")) {
+        const campaign::TrialExecutor executor(*by_name.at(job->scenario),
+                                               job->master_seed);
+        for (std::uint32_t t = job->trial_begin; t < job->trial_end; ++t) {
+          (void)coordinator.commit(executor.run(t).row);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  quit.store(true);
+  status_poller.join();
+
+  EXPECT_TRUE(coordinator.done());
+  const Coordinator::Status s = coordinator.status();
+  EXPECT_TRUE(s.finished);
+  EXPECT_EQ(s.committed, s.total_trials);
+  EXPECT_EQ(s.units_pending, 0u);
+  EXPECT_EQ(s.units_leased, 0u);
+}
+
 }  // namespace
 }  // namespace dualrad::serve
