@@ -9,6 +9,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
@@ -16,6 +17,7 @@
 #include <utility>
 
 #include "campaign/export.hpp"
+#include "serve/faultline.hpp"
 #include "serve/wire.hpp"
 
 namespace dualrad::serve {
@@ -62,10 +64,22 @@ std::string journal_line(const campaign::TrialRow& row) {
   return crc_hex(crc32(json)) + " " + json + "\n";
 }
 
+std::string journal_line(const campaign::TelemetryRow& row) {
+  std::string json = campaign::telemetry_to_jsonl({row});
+  DUALRAD_CHECK(!json.empty() && json.back() == '\n',
+                "telemetry_to_jsonl emitted no line");
+  json.pop_back();
+  // The "t " marker distinguishes telemetry from trial rows; it is part of
+  // the CRC-covered payload so a marker torn off cannot misclassify a line.
+  const std::string payload = "t " + json;
+  return crc_hex(crc32(payload)) + " " + payload + "\n";
+}
+
 JournalLoad parse_journal(const std::string& text) {
   JournalLoad load;
   load.valid_bytes = text.size();
   std::map<std::pair<std::string, std::uint32_t>, std::string> seen;
+  std::set<std::pair<std::string, std::uint32_t>> telemetry_seen;
   std::size_t begin = 0;
   while (begin < text.size()) {
     const std::size_t nl = text.find('\n', begin);
@@ -78,8 +92,8 @@ JournalLoad parse_journal(const std::string& text) {
       begin = next;
       continue;
     }
-    const std::optional<std::string_view> json = check_line(line);
-    if (!json.has_value() || !complete) {
+    const std::optional<std::string_view> payload = check_line(line);
+    if (!payload.has_value() || !complete) {
       // Only the final line may be torn (whole-line O_APPEND writes); any
       // earlier damage means the file itself is corrupt.
       if (is_last) {
@@ -90,8 +104,24 @@ JournalLoad parse_journal(const std::string& text) {
       throw std::invalid_argument(
           "dualrad: corrupt journal line (not at tail): " + std::string(line));
     }
+    if (payload->rfind("t ", 0) == 0) {
+      // Telemetry line. Nondeterministic by nature (wall times), so replays
+      // dedupe first-wins and never conflict.
+      const std::string_view json = payload->substr(2);
+      std::vector<campaign::TelemetryRow> parsed =
+          campaign::telemetry_from_jsonl(std::string(json) + "\n");
+      DUALRAD_REQUIRE(parsed.size() == 1,
+                      "telemetry journal line is not one row");
+      campaign::TelemetryRow row = std::move(parsed.front());
+      if (telemetry_seen.emplace(row.scenario, row.trial).second) {
+        load.telemetry.push_back(std::move(row));
+      }
+      begin = next;
+      continue;
+    }
+    const std::string_view json = *payload;
     std::vector<campaign::TrialRow> parsed =
-        campaign::trials_from_jsonl(std::string(*json) + "\n");
+        campaign::trials_from_jsonl(std::string(json) + "\n");
     DUALRAD_REQUIRE(parsed.size() == 1, "journal line is not one row");
     campaign::TrialRow row = std::move(parsed.front());
     const auto key = std::make_pair(row.scenario, row.trial);
@@ -99,7 +129,7 @@ JournalLoad parse_journal(const std::string& text) {
     if (it != seen.end()) {
       // At-least-once journaling: byte-identical replays dedupe, conflicting
       // rows for one trial violate the determinism contract.
-      if (it->second == *json) {
+      if (it->second == json) {
         ++load.duplicates;
       } else {
         throw std::invalid_argument(
@@ -107,7 +137,7 @@ JournalLoad parse_journal(const std::string& text) {
             std::to_string(row.trial));
       }
     } else {
-      seen.emplace(key, std::string(*json));
+      seen.emplace(key, std::string(json));
       load.rows.push_back(std::move(row));
     }
     begin = next;
@@ -142,20 +172,63 @@ void JournalWriter::open(const std::string& path, bool fsync_each) {
 }
 
 void JournalWriter::append(const campaign::TrialRow& row) {
+  append_line(journal_line(row));
+}
+
+void JournalWriter::append(const campaign::TelemetryRow& row) {
+  append_line(journal_line(row));
+}
+
+void JournalWriter::append_line(const std::string& line) {
   DUALRAD_CHECK(fd_ >= 0, "journal writer not open");
-  const std::string line = journal_line(row);
-  std::size_t written = 0;
-  while (written < line.size()) {
-    const ssize_t n =
-        ::write(fd_, line.data() + written, line.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("dualrad: journal write failed: ") +
-                               errno_message());
+
+  const auto write_all = [&](const char* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd_, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(
+            std::string("dualrad: journal write failed: ") + errno_message());
+      }
+      written += static_cast<std::size_t>(n);
     }
-    written += static_cast<std::size_t>(n);
+  };
+
+  if (FaultInjector* injector = fault_injector()) {
+    switch (injector->next_journal()) {
+      case JournalFault::None:
+        break;
+      case JournalFault::TornWrite:
+        // Half the line reaches disk, then the device errors: the classic
+        // torn tail. The loader recovers the valid prefix (valid_bytes) and
+        // truncate_torn_tail cuts the fragment on resume.
+        write_all(line.data(), line.size() / 2);
+        throw std::runtime_error(
+            "dualrad: journal append failed mid-line (injected EIO; torn "
+            "tail left on disk)");
+      case JournalFault::FsyncEio:
+        // The line is written but its durability is unknown: the commit must
+        // still fail loudly (a crash now could lose it).
+        write_all(line.data(), line.size());
+        throw std::runtime_error(
+            "dualrad: journal fsync failed (injected EIO; line durability "
+            "unknown)");
+      case JournalFault::AppendEnospc:
+        throw std::runtime_error(
+            "dualrad: journal append failed (injected ENOSPC; nothing "
+            "written)");
+    }
   }
-  if (fsync_each_) (void)::fsync(fd_);
+
+  write_all(line.data(), line.size());
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    // An fsync error means the kernel may have dropped this (or an earlier)
+    // write: the only honest outcome is a loud failure. The on-disk prefix
+    // is still a valid journal — whole-line appends tear at most the tail.
+    throw std::runtime_error(std::string("dualrad: journal fsync failed: ") +
+                             errno_message());
+  }
 }
 
 void JournalWriter::close() {

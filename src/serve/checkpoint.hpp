@@ -13,11 +13,18 @@
 ///
 ///   xxxxxxxx {"scenario":"...","trial":0,...}\n
 ///
-/// where xxxxxxxx is the lower-case hex CRC-32 of the JSON text. The JSON is
-/// the canonical untimed trial row (campaign/export.hpp trials_to_jsonl), so
-/// a journal is itself a readable JSONL file modulo the CRC column, and the
-/// byte equality used for exactly-once dedup is the same byte equality the
-/// export contract pins.
+/// and (since telemetry journaling) one optional line per telemetry row,
+/// marked with a "t " payload prefix:
+///
+///   xxxxxxxx t {"scenario":"...","trial":0,"wall_us":...}\n
+///
+/// where xxxxxxxx is the lower-case hex CRC-32 of everything after the
+/// separating space (for telemetry lines that includes the "t " marker). The
+/// trial JSON is the canonical untimed trial row (campaign/export.hpp
+/// trials_to_jsonl), so a journal is itself a readable JSONL file modulo the
+/// CRC column, and the byte equality used for exactly-once dedup is the same
+/// byte equality the export contract pins. Journals without telemetry lines
+/// are exactly the pre-telemetry format, so old journals load unchanged.
 ///
 /// Torn-write tolerance: a crash can tear at most the FINAL line (the writer
 /// appends whole lines and fsyncs). load_journal() therefore drops a trailing
@@ -25,13 +32,17 @@
 /// earlier damage as corruption and throws. Re-journaled duplicates (the
 /// at-least-once window between commit and crash) are byte-compared: equal
 /// rows dedupe silently, conflicting rows for the same (scenario, trial)
-/// throw.
+/// throw. Telemetry rows carry wall times and are inherently
+/// nondeterministic, so they dedupe first-wins and never conflict.
 
 namespace dualrad::serve {
 
 struct JournalLoad {
   /// Deduplicated committed rows, in journal (= commit) order.
   std::vector<campaign::TrialRow> rows;
+  /// Journaled telemetry rows, deduplicated first-wins per (scenario, trial),
+  /// in journal order.
+  std::vector<campaign::TelemetryRow> telemetry;
   /// 1 if a torn trailing line was dropped, else 0.
   std::size_t dropped_torn_tail = 0;
   /// Byte-identical duplicate lines skipped.
@@ -56,9 +67,21 @@ void truncate_torn_tail(const std::string& path, const JournalLoad& load);
 /// Serialize one row as a journal line (CRC column, trailing newline).
 [[nodiscard]] std::string journal_line(const campaign::TrialRow& row);
 
+/// Serialize one telemetry row as a journal line ("t " marker, CRC column,
+/// trailing newline).
+[[nodiscard]] std::string journal_line(const campaign::TelemetryRow& row);
+
 /// Append-only journal writer. Lines are written with a single write(2) to
 /// an O_APPEND descriptor and fsynced, so concurrent writers cannot
 /// interleave within a line and a crash tears at most the tail.
+///
+/// Failure contract: every append throws std::runtime_error on any write or
+/// fsync error — a commit whose durability is unknown must fail loudly, not
+/// limp on. Because lines are whole-line appends, a failed append leaves the
+/// journal's valid prefix intact (at worst a torn tail, which the loader
+/// already recovers via valid_bytes). This is also the checkpoint
+/// fault-injection seam: an installed faultline::FaultInjector can simulate
+/// torn writes, fsync EIO, and ENOSPC here.
 class JournalWriter {
  public:
   JournalWriter() = default;
@@ -76,9 +99,14 @@ class JournalWriter {
   /// Append one committed row. Throws std::runtime_error on I/O failure.
   void append(const campaign::TrialRow& row);
 
+  /// Append one telemetry row. Throws std::runtime_error on I/O failure.
+  void append(const campaign::TelemetryRow& row);
+
   void close();
 
  private:
+  void append_line(const std::string& line);
+
   int fd_ = -1;
   bool fsync_each_ = true;
 };

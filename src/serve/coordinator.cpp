@@ -11,12 +11,16 @@ namespace dualrad::serve {
 
 Coordinator::Coordinator(Config config) : config_(std::move(config)) {
   DUALRAD_REQUIRE(config_.lease_secs > 0.0, "lease_secs must be positive");
+  DUALRAD_REQUIRE(config_.lease_slack >= 1.0, "lease_slack must be >= 1");
+  DUALRAD_REQUIRE(config_.lease_floor_secs > 0.0 &&
+                      config_.lease_floor_secs <= config_.lease_ceil_secs,
+                  "lease floor/ceil must satisfy 0 < floor <= ceil");
 }
 
 void Coordinator::configure_campaign(std::uint64_t master_seed,
                                      std::size_t trials_override) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  DUALRAD_REQUIRE(!loaded_ || committed_ == rows_.size(),
+  DUALRAD_REQUIRE(!loaded_ || settled_locked(),
                   "cannot reconfigure mid-campaign");
   config_.master_seed = master_seed;
   config_.trials_override = trials_override;
@@ -37,7 +41,7 @@ void Coordinator::load_campaign(
   }
 
   const std::lock_guard<std::mutex> lock(mutex_);
-  DUALRAD_REQUIRE(!loaded_ || committed_ == rows_.size(),
+  DUALRAD_REQUIRE(!loaded_ || settled_locked(),
                   "a campaign is already in progress");
 
   scenarios_.clear();
@@ -66,6 +70,11 @@ void Coordinator::load_campaign(
   unit_of_job_.assign(total, 0);
   committed_ = 0;
   resumed_ = 0;
+  lease_expiries_ = 0;
+  speculative_ = 0;
+  journal_errors_ = 0;
+  journal_error_.clear();
+  unit_secs_.clear();
 
   for (std::size_t si = 0; si < scenarios_.size(); ++si) {
     const ScenarioSlot& slot = scenarios_[si];
@@ -99,7 +108,21 @@ void Coordinator::load_campaign(
                   "journal replay produced a duplicate");
     ++resumed_;
   }
-  if (committed_ == rows_.size()) done_cv_.notify_all();
+  // Replay journaled telemetry (first-wins, same validation as the live
+  // path) so crashed runs keep their telemetry through --resume.
+  if (config_.collect_telemetry) {
+    for (const campaign::TelemetryRow& row : journal_rows.telemetry) {
+      const auto it = scenario_index_.find(row.scenario);
+      if (it == scenario_index_.end()) continue;
+      const ScenarioSlot& slot = scenarios_[it->second];
+      if (row.trial >= slot.trials) continue;
+      const std::size_t job = slot.first_job + row.trial;
+      if (telemetry_present_[job]) continue;
+      telemetry_[job] = row;
+      telemetry_present_[job] = 1;
+    }
+  }
+  if (settled_locked()) done_cv_.notify_all();
 }
 
 bool Coordinator::campaign_loaded() const {
@@ -114,31 +137,71 @@ std::string Coordinator::register_worker(const std::string& requested) {
   return "w" + std::to_string(next_worker_++);
 }
 
-void Coordinator::sweep_expired_leases_locked() {
-  const auto now = std::chrono::steady_clock::now();
-  for (Unit& unit : units_) {
-    if (unit.state == UnitState::Leased && now >= unit.lease_deadline) {
-      // The worker died or stalled: requeue. Trials it already committed
-      // stay committed; a later worker re-running them dedupes byte-wise.
-      unit.state = UnitState::Pending;
-      unit.worker.clear();
+bool Coordinator::settled_locked() const {
+  if (!loaded_) return false;
+  for (const Unit& unit : units_) {
+    if (unit.state != UnitState::Done && unit.state != UnitState::Quarantined) {
+      return false;
     }
   }
+  return true;
+}
+
+double Coordinator::lease_window_secs_locked() const {
+  if (!config_.adaptive_lease || unit_secs_.size() < config_.lease_observations) {
+    return config_.lease_secs;
+  }
+  // p90 of observed unit wall times, times slack: long enough that an honest
+  // slow unit survives, short enough that a dead worker is detected in a few
+  // unit-times rather than a static 30 s.
+  std::vector<double> secs = unit_secs_;
+  const std::size_t k = (secs.size() * 9) / 10;
+  const std::size_t idx = std::min(k, secs.size() - 1);
+  std::nth_element(secs.begin(),
+                   secs.begin() + static_cast<std::ptrdiff_t>(idx), secs.end());
+  const double p90 = secs[idx];
+  return std::clamp(p90 * config_.lease_slack, config_.lease_floor_secs,
+                    config_.lease_ceil_secs);
+}
+
+void Coordinator::sweep_expired_leases_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  bool newly_settled = false;
+  for (Unit& unit : units_) {
+    if (unit.state != UnitState::Leased || now < unit.lease_deadline) continue;
+    // The worker died or stalled. Trials it already committed stay
+    // committed; a later worker re-running them dedupes byte-wise.
+    ++lease_expiries_;
+    ++unit.expiries;
+    unit.speculated = false;
+    if (config_.max_unit_expiries != 0 &&
+        unit.expiries >= config_.max_unit_expiries) {
+      // Poison quarantine: this unit has now killed (or outlived) N leases.
+      // Requeueing it forever would livelock the campaign; park it and let
+      // finalize() report the gap explicitly. A late commit can still heal
+      // it back to Done. `worker` is kept for the manifest — the last
+      // holder is the first place to look for the poison.
+      unit.state = UnitState::Quarantined;
+      newly_settled = true;
+    } else {
+      unit.worker.clear();
+      unit.state = UnitState::Pending;
+    }
+  }
+  if (newly_settled && settled_locked()) done_cv_.notify_all();
 }
 
 std::optional<JobSpec> Coordinator::lease(const std::string& worker) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!loaded_) return std::nullopt;
   sweep_expired_leases_locked();
-  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
-    Unit& unit = units_[ui];
-    if (unit.state != UnitState::Pending) continue;
-    unit.state = UnitState::Leased;
+  const auto now = std::chrono::steady_clock::now();
+  const auto window = std::chrono::microseconds(
+      static_cast<std::int64_t>(lease_window_secs_locked() * 1e6));
+  const auto make_job = [&](std::size_t ui, Unit& unit) {
     unit.worker = worker;
-    unit.lease_deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::microseconds(
-            static_cast<std::int64_t>(config_.lease_secs * 1e6));
+    unit.lease_start = now;
+    unit.lease_deadline = now + window;
     JobSpec job;
     job.unit = ui;
     job.scenario = scenarios_[unit.scenario].name;
@@ -148,8 +211,40 @@ std::optional<JobSpec> Coordinator::lease(const std::string& worker) {
     job.threads_per_trial = config_.threads_per_trial;
     job.collect_telemetry = config_.collect_telemetry;
     return job;
+  };
+  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+    Unit& unit = units_[ui];
+    if (unit.state != UnitState::Pending) continue;
+    unit.state = UnitState::Leased;
+    return make_job(ui, unit);
   }
-  return std::nullopt;
+  if (!config_.speculative_redispatch) return std::nullopt;
+  // Straggler speculation: nothing is pending but the campaign isn't done,
+  // so this worker would otherwise idle-poll while the tail unit finishes
+  // (or times out). Hand it a second copy of the leased unit that has been
+  // out the longest past half its window — exactly-once commit makes the
+  // duplicate execution safe, and whichever copy commits first wins. At most
+  // one speculative copy per lease term, and never to the holder itself.
+  std::size_t best = units_.size();
+  for (std::size_t ui = 0; ui < units_.size(); ++ui) {
+    Unit& unit = units_[ui];
+    if (unit.state != UnitState::Leased || unit.speculated) continue;
+    if (unit.worker == worker) continue;
+    const auto elapsed = now - unit.lease_start;
+    if (elapsed * 2 < unit.lease_deadline - unit.lease_start) continue;
+    if (best == units_.size() ||
+        units_[best].lease_start > unit.lease_start) {
+      best = ui;
+    }
+  }
+  if (best == units_.size()) return std::nullopt;
+  Unit& unit = units_[best];
+  unit.speculated = true;
+  ++speculative_;
+  // The re-dispatch extends the deadline for both copies — the original
+  // holder may still commit, and the sweep must give the speculative copy a
+  // full window too.
+  return make_job(best, unit);
 }
 
 Coordinator::Commit Coordinator::commit_locked(const campaign::TrialRow& row,
@@ -181,7 +276,7 @@ Coordinator::Commit Coordinator::commit_locked(const campaign::TrialRow& row,
         " — byte-identity contract violated (mismatched binary or grid?)");
   }
 
-  if (!from_journal && journal_.is_open()) journal_.append(canonical);
+  if (!from_journal) journal_append_guarded_locked(canonical);
   rows_[job] = std::move(canonical);
   row_bytes_[job] = bytes;
   ++committed_;
@@ -189,16 +284,52 @@ Coordinator::Commit Coordinator::commit_locked(const campaign::TrialRow& row,
   Unit& unit = units_[unit_of_job_[job]];
   DUALRAD_CHECK(unit.remaining > 0, "unit committed more trials than it has");
   if (--unit.remaining == 0) {
+    // A late commit heals a quarantined unit: the work arrived after all, so
+    // the campaign is whole again for this range.
+    if (unit.state == UnitState::Leased && !from_journal) {
+      const auto elapsed = std::chrono::steady_clock::now() - unit.lease_start;
+      unit_secs_.push_back(
+          std::chrono::duration<double>(elapsed).count());
+    }
     unit.state = UnitState::Done;
     unit.worker.clear();
+    unit.speculated = false;
   }
   return Commit::Accepted;
+}
+
+void Coordinator::journal_append_guarded_locked(const campaign::TrialRow& row) {
+  if (!journal_.is_open()) return;
+  try {
+    journal_.append(row);
+  } catch (const std::exception& e) {
+    // Availability over durability: a failing journal device must not take
+    // a running campaign down. Disable checkpointing (the on-disk prefix is
+    // still a valid journal — whole-line appends tear at most the tail, and
+    // a later --resume re-runs whatever wasn't durable), count it, and let
+    // the commit succeed.
+    journal_.close();
+    ++journal_errors_;
+    if (journal_error_.empty()) journal_error_ = e.what();
+  }
+}
+
+void Coordinator::journal_append_guarded_locked(
+    const campaign::TelemetryRow& row) {
+  if (!journal_.is_open()) return;
+  try {
+    journal_.append(row);
+  } catch (const std::exception& e) {
+    journal_.close();
+    ++journal_errors_;
+    if (journal_error_.empty()) journal_error_ = e.what();
+  }
 }
 
 Coordinator::Commit Coordinator::commit(const campaign::TrialRow& row) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const Commit outcome = commit_locked(row, /*from_journal=*/false);
-  if (committed_ == rows_.size()) done_cv_.notify_all();
+  if (settled_locked()) done_cv_.notify_all();
   return outcome;
 }
 
@@ -215,18 +346,19 @@ void Coordinator::add_telemetry(const campaign::TelemetryRow& row) {
   if (telemetry_present_[job]) return;
   telemetry_[job] = row;
   telemetry_present_[job] = 1;
+  journal_append_guarded_locked(row);
 }
 
 bool Coordinator::done() const {
   // Callers hold no lock (done is const); the engine reads are benign but
   // lock anyway for a clean contract — this is never on a hot path.
   const std::lock_guard<std::mutex> lock(mutex_);
-  return loaded_ && committed_ == rows_.size();
+  return settled_locked();
 }
 
 bool Coordinator::wait_done(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
-  const auto is_done = [&] { return loaded_ && committed_ == rows_.size(); };
+  const auto is_done = [&] { return settled_locked(); };
   if (timeout.count() <= 0) {
     done_cv_.wait(lock, is_done);
     return true;
@@ -238,7 +370,7 @@ Coordinator::Status Coordinator::status() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Status s;
   s.loaded = loaded_;
-  s.finished = loaded_ && committed_ == rows_.size();
+  s.finished = settled_locked();
   s.scenarios = scenarios_.size();
   s.total_trials = rows_.size();
   s.committed = committed_;
@@ -248,22 +380,64 @@ Coordinator::Status Coordinator::status() const {
       case UnitState::Pending: ++s.units_pending; break;
       case UnitState::Leased: ++s.units_leased; break;
       case UnitState::Done: ++s.units_done; break;
+      case UnitState::Quarantined:
+        ++s.units_quarantined;
+        s.trials_quarantined += unit.remaining;
+        break;
     }
   }
   s.workers = workers_seen_;
+  s.lease_expiries = lease_expiries_;
+  s.speculative_dispatches = speculative_;
+  s.journal_errors = journal_errors_;
+  s.lease_ms_effective =
+      static_cast<std::size_t>(lease_window_secs_locked() * 1e3);
   return s;
+}
+
+std::vector<Coordinator::QuarantinedUnit> Coordinator::quarantined() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QuarantinedUnit> out;
+  for (const Unit& unit : units_) {
+    if (unit.state != UnitState::Quarantined) continue;
+    QuarantinedUnit q;
+    q.scenario = scenarios_[unit.scenario].name;
+    q.trial_begin = unit.trial_begin;
+    q.trial_end = unit.trial_end;
+    q.committed = (unit.trial_end - unit.trial_begin) - unit.remaining;
+    q.expiries = unit.expiries;
+    q.last_worker = unit.worker;
+    out.push_back(std::move(q));
+  }
+  return out;
 }
 
 campaign::CampaignResult Coordinator::finalize() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  DUALRAD_REQUIRE(loaded_ && committed_ == rows_.size(),
-                  "finalize before the campaign completed");
+  DUALRAD_REQUIRE(settled_locked(), "finalize before the campaign completed");
   campaign::CampaignResult result;
-  result.trials = rows_;
   campaign::CampaignGrid grid;
   grid.reserve(scenarios_.size());
-  for (const ScenarioSlot& slot : scenarios_) {
-    grid.emplace_back(slot.name, slot.trials);
+  if (committed_ == rows_.size()) {
+    result.trials = rows_;
+    for (const ScenarioSlot& slot : scenarios_) {
+      grid.emplace_back(slot.name, slot.trials);
+    }
+  } else {
+    // Quarantined units leave holes: export the committed subset with a grid
+    // whose per-scenario counts match, so summarize_trials' row-count
+    // invariant holds. The quarantined() manifest names the missing ranges.
+    result.trials.reserve(committed_);
+    for (const ScenarioSlot& slot : scenarios_) {
+      std::size_t present = 0;
+      for (std::size_t t = 0; t < slot.trials; ++t) {
+        const std::size_t job = slot.first_job + t;
+        if (row_bytes_[job].empty()) continue;
+        result.trials.push_back(rows_[job]);
+        ++present;
+      }
+      if (present > 0) grid.emplace_back(slot.name, present);
+    }
   }
   // Serve-mode rows are always untimed (the canonicalization in commit), so
   // summaries carry no wall-time column — matching an untimed batch run.

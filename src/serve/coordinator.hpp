@@ -26,6 +26,23 @@
 /// throws, because under the engine's determinism contract two honest
 /// executions of one trial can never differ.
 ///
+/// Self-healing (PR 9):
+///  - Adaptive leases: once enough units have completed, the lease window is
+///    re-derived from observed unit wall times (p90 x slack, clamped), so a
+///    slow scenario doesn't thrash on a static timeout and a fast one
+///    doesn't wait 30 s to reissue after a worker dies.
+///  - Poison quarantine: a unit whose lease expires `max_unit_expiries`
+///    times is quarantined instead of requeued forever — the campaign
+///    completes with an explicit quarantined manifest (finalize() exports
+///    the committed subset) rather than livelocking. A late commit for a
+///    quarantined unit is still accepted and can heal it back to Done.
+///  - Speculative re-dispatch: when every unit is leased out, an idle worker
+///    is handed a second copy of the unit closest to lease expiry (commit
+///    dedup makes duplicate execution safe), cutting the straggler tail.
+///  - Journal degradation: a journal write failure disables checkpointing
+///    (counted and reported in status) but never fails the commit —
+///    availability over durability; the on-disk prefix stays recoverable.
+///
 /// All public methods are thread-safe; the socket server calls them from one
 /// thread per connection.
 
@@ -55,8 +72,22 @@ class Coordinator {
     std::uint32_t unit_trials = 4;
     /// Lease timeout: a unit not fully committed within this window is
     /// requeued. Sweeps run on every lease request, so expiry needs no
-    /// dedicated thread.
+    /// dedicated thread. With `adaptive_lease`, this is only the STARTING
+    /// window — once `lease_observations` units have completed, the window
+    /// becomes p90(observed unit seconds) x lease_slack, clamped to
+    /// [lease_floor_secs, lease_ceil_secs].
     double lease_secs = 30.0;
+    bool adaptive_lease = true;
+    double lease_slack = 4.0;
+    std::size_t lease_observations = 8;
+    double lease_floor_secs = 0.05;
+    double lease_ceil_secs = 3600.0;
+    /// Quarantine threshold: a unit whose lease expires this many times is
+    /// quarantined (reported, not requeued). 0 disables quarantine.
+    std::uint32_t max_unit_expiries = 5;
+    /// Hand stragglers to idle workers before their lease expires (safe:
+    /// commit is exactly-once). At most one speculative copy per lease term.
+    bool speculative_redispatch = true;
     /// Append-only journal path; empty disables checkpointing.
     std::string journal_path;
     /// Load the journal before dispatching and skip committed trials.
@@ -96,9 +127,14 @@ class Coordinator {
   /// conflicting replay (byte-identity violation).
   Commit commit(const campaign::TrialRow& row);
 
-  /// Record an out-of-band telemetry row (first one per trial wins).
+  /// Record an out-of-band telemetry row (first one per trial wins). Also
+  /// journaled (when a journal is open and telemetry collection is on) so
+  /// `--resume` can replay telemetry of crashed runs.
   void add_telemetry(const campaign::TelemetryRow& row);
 
+  /// True when every unit is settled: Done, or Quarantined. A campaign with
+  /// quarantined units is "done" in the liveness sense — nothing further
+  /// will be dispatched — but finalize() reports the gap explicitly.
   [[nodiscard]] bool done() const;
 
   /// Block until the campaign completes (or `deadline` passes; zero waits
@@ -115,29 +151,54 @@ class Coordinator {
     std::size_t units_pending = 0;
     std::size_t units_leased = 0;
     std::size_t units_done = 0;
+    std::size_t units_quarantined = 0;
+    std::size_t trials_quarantined = 0;  ///< uncommitted trials stuck there
     std::size_t workers = 0;
+    std::size_t lease_expiries = 0;
+    std::size_t speculative_dispatches = 0;
+    std::size_t journal_errors = 0;
+    /// The lease window new leases get right now, in milliseconds (adaptive
+    /// once enough observations accumulate, else the static lease_secs).
+    std::size_t lease_ms_effective = 0;
   };
   [[nodiscard]] Status status() const;
+
+  /// One quarantined unit, for the explicit end-of-campaign manifest.
+  struct QuarantinedUnit {
+    std::string scenario;
+    std::uint32_t trial_begin = 0;
+    std::uint32_t trial_end = 0;   ///< exclusive
+    std::uint32_t committed = 0;   ///< trials in range that DID commit
+    std::uint32_t expiries = 0;    ///< lease expiries that condemned it
+    std::string last_worker;       ///< last worker it was leased to
+  };
+  [[nodiscard]] std::vector<QuarantinedUnit> quarantined() const;
 
   /// Assemble the finished campaign: rows in canonical (scenario
   /// registration order, trial) order, summaries via the shared
   /// summarize_trials — byte-identical exports to a batch run_campaign of
-  /// the same grid and master seed. Throws if !done().
+  /// the same grid and master seed. Throws if !done(). With quarantined
+  /// units, exports the committed subset (per-scenario grid counts shrink to
+  /// the committed rows; scenarios with none are omitted from summaries) —
+  /// the quarantined() manifest names exactly what is missing.
   [[nodiscard]] campaign::CampaignResult finalize() const;
 
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
-  enum class UnitState { Pending, Leased, Done };
+  enum class UnitState { Pending, Leased, Done, Quarantined };
 
   struct Unit {
     std::size_t scenario = 0;
     std::uint32_t trial_begin = 0;
     std::uint32_t trial_end = 0;
     UnitState state = UnitState::Pending;
+    std::chrono::steady_clock::time_point lease_start{};
     std::chrono::steady_clock::time_point lease_deadline{};
     std::string worker;
     std::uint32_t remaining = 0;  ///< uncommitted trials in range
+    std::uint32_t expiries = 0;   ///< lease expiries so far (poison counter)
+    bool speculated = false;      ///< a second copy is out this lease term
   };
 
   struct ScenarioSlot {
@@ -148,6 +209,10 @@ class Coordinator {
 
   void sweep_expired_leases_locked();
   Commit commit_locked(const campaign::TrialRow& row, bool from_journal);
+  [[nodiscard]] bool settled_locked() const;
+  [[nodiscard]] double lease_window_secs_locked() const;
+  void journal_append_guarded_locked(const campaign::TrialRow& row);
+  void journal_append_guarded_locked(const campaign::TelemetryRow& row);
 
   Config config_;
   mutable std::mutex mutex_;
@@ -166,6 +231,12 @@ class Coordinator {
   std::size_t resumed_ = 0;
   std::size_t next_worker_ = 0;
   std::size_t workers_seen_ = 0;
+  std::size_t lease_expiries_ = 0;
+  std::size_t speculative_ = 0;
+  std::size_t journal_errors_ = 0;
+  std::string journal_error_;  ///< first journal failure, for status logs
+  /// Wall seconds of completed units, for the adaptive lease p90.
+  std::vector<double> unit_secs_;
   JournalWriter journal_;
 };
 

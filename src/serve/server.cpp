@@ -116,7 +116,14 @@ std::string Server::handle_message(const std::string& payload,
     reply += ",\"units_pending\":" + std::to_string(s.units_pending);
     reply += ",\"units_leased\":" + std::to_string(s.units_leased);
     reply += ",\"units_done\":" + std::to_string(s.units_done);
+    reply += ",\"units_quarantined\":" + std::to_string(s.units_quarantined);
+    reply += ",\"trials_quarantined\":" + std::to_string(s.trials_quarantined);
     reply += ",\"workers\":" + std::to_string(s.workers);
+    reply += ",\"lease_expiries\":" + std::to_string(s.lease_expiries);
+    reply += ",\"speculative_dispatches\":" +
+             std::to_string(s.speculative_dispatches);
+    reply += ",\"journal_errors\":" + std::to_string(s.journal_errors);
+    reply += ",\"lease_ms_effective\":" + std::to_string(s.lease_ms_effective);
     reply += "}";
     return reply;
   }

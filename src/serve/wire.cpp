@@ -11,7 +11,12 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "serve/faultline.hpp"
 
 namespace dualrad::serve {
 
@@ -95,6 +100,11 @@ std::optional<std::string> FrameReader::next() {
   const std::uint32_t length = get_u32(head);
   if (length > kMaxFramePayload) {
     corrupt_ = true;
+    corrupt_reason_ = "frame length " + std::to_string(length) +
+                      " exceeds the " + std::to_string(kMaxFramePayload) +
+                      "-byte payload limit";
+    buffer_.clear();
+    consumed_ = 0;
     return std::nullopt;
   }
   if (available < 8 + static_cast<std::size_t>(length)) return std::nullopt;
@@ -102,18 +112,21 @@ std::optional<std::string> FrameReader::next() {
   std::string payload(head + 8, length);
   if (crc32(payload) != expected) {
     corrupt_ = true;
+    corrupt_reason_ = "frame CRC mismatch (stream torn or corrupted)";
+    buffer_.clear();
+    consumed_ = 0;
     return std::nullopt;
   }
   consumed_ += 8 + static_cast<std::size_t>(length);
   return payload;
 }
 
-bool send_frame(int fd, std::string_view payload) {
-  const std::string frame = encode_frame(payload);
+namespace {
+
+[[nodiscard]] bool send_bytes(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
-                             MSG_NOSIGNAL);
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -123,8 +136,56 @@ bool send_frame(int fd, std::string_view payload) {
   return true;
 }
 
+}  // namespace
+
+bool send_frame(int fd, std::string_view payload) {
+  std::string frame = encode_frame(payload);
+  if (FaultInjector* injector = fault_injector()) {
+    int delay_ms = 0;
+    switch (injector->next_wire(&delay_ms)) {
+      case WireFault::None:
+        break;
+      case WireFault::Drop:
+        // The frame never leaves. Reporting failure (rather than silently
+        // blackholing) models a dead socket: the caller tears the connection
+        // down and retransmits after reconnecting instead of blocking a full
+        // reply timeout on a frame that will never be answered.
+        return false;
+      case WireFault::Corrupt:
+        // Flip one CRC bit in flight; the receiver's FrameReader poisons
+        // itself and the connection dies on that end.
+        frame[4] = static_cast<char>(frame[4] ^ 0x01);
+        break;
+      case WireFault::Partial: {
+        // Torn write: half a frame reaches the peer, then the link dies.
+        // The receiver discards the fragment when the connection drops.
+        (void)send_bytes(fd, frame.data(), frame.size() / 2);
+        return false;
+      }
+      case WireFault::Reset:
+        ::shutdown(fd, SHUT_RDWR);
+        return false;
+      case WireFault::Delay:
+        // Late delivery. Bounded by the plan's delay_ms. lint: backoff-ok
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        break;
+    }
+  }
+  return send_bytes(fd, frame.data(), frame.size());
+}
+
 std::optional<std::string> recv_frame(int fd, FrameReader& reader,
                                       int timeout_ms, bool* timed_out) {
+  if (reader.corrupt()) {
+    // A poisoned reader can never produce another frame; a caller that loops
+    // on it would hang silently. Recovery is reconnect-only: drop the
+    // connection and build a fresh FrameReader.
+    throw std::logic_error(
+        "dualrad: recv_frame on a poisoned FrameReader (" +
+        reader.corrupt_reason() +
+        "); a corrupt stream cannot be resumed — reconnect with a fresh "
+        "FrameReader");
+  }
   if (timed_out != nullptr) *timed_out = false;
   for (;;) {
     if (auto payload = reader.next()) return payload;

@@ -35,14 +35,23 @@ inline constexpr std::uint32_t kMaxFramePayload = 1u << 24;  // 16 MiB
 
 /// Incremental frame decoder: feed() arbitrary chunks, next() yields decoded
 /// payloads in order. A CRC mismatch or oversized length puts the reader
-/// into a sticky corrupt state (next() returns nullopt forever; the caller
-/// must drop the connection).
+/// into a sticky corrupt state: next() returns nullopt forever and feed()
+/// discards further input (once framing is lost, resynchronizing on a byte
+/// stream is guesswork — any suffix could be mid-frame).
+///
+/// Recovery is reconnect-only, by design: a poisoned reader cannot be
+/// resumed or reset — the caller must drop the connection and build a fresh
+/// FrameReader for the replacement socket (the worker's retransmit dedup
+/// makes this lossless). recv_frame enforces the contract: calling it with
+/// an already-poisoned reader throws std::logic_error rather than spinning
+/// forever on a reader that can never produce a frame.
 class FrameReader {
  public:
   void feed(const char* data, std::size_t size) {
+    if (corrupt_) return;  // poisoned: drop input, don't grow the buffer
     buffer_.append(data, size);
   }
-  void feed(std::string_view data) { buffer_.append(data); }
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
 
   /// Next complete, CRC-valid payload; nullopt if more bytes are needed or
   /// the stream is corrupt.
@@ -50,22 +59,36 @@ class FrameReader {
 
   [[nodiscard]] bool corrupt() const { return corrupt_; }
 
+  /// Why the reader poisoned itself (empty while healthy).
+  [[nodiscard]] const std::string& corrupt_reason() const {
+    return corrupt_reason_;
+  }
+
  private:
   std::string buffer_;
   std::size_t consumed_ = 0;
   bool corrupt_ = false;
+  std::string corrupt_reason_;
 };
 
 // --- blocking socket I/O -----------------------------------------------------
 
 /// Send one frame; returns false on any send error (EPIPE included — SIGPIPE
-/// is suppressed).
+/// is suppressed). This is also the wire fault-injection seam: when a
+/// faultline::FaultInjector is installed, an injected Drop/Partial/Reset
+/// reports failure (the caller tears the connection down and retransmits
+/// after reconnecting), Corrupt flips a CRC byte in flight (the receiver's
+/// FrameReader poisons itself), and Delay sleeps before delivering.
 [[nodiscard]] bool send_frame(int fd, std::string_view payload);
 
 /// Receive the next frame. Blocks up to `timeout_ms` (0 = forever); returns:
 ///  - a payload on success,
 ///  - nullopt with *timed_out = true on timeout,
-///  - nullopt with *timed_out = false on EOF / error / corrupt stream.
+///  - nullopt with *timed_out = false on EOF / error / a stream that just
+///    turned corrupt (the caller must drop the connection).
+/// Throws std::logic_error if `reader` was ALREADY poisoned on entry: a
+/// corrupt reader can never yield another frame, so looping on it is a
+/// caller bug (reconnect with a fresh FrameReader instead).
 [[nodiscard]] std::optional<std::string> recv_frame(int fd, FrameReader& reader,
                                                     int timeout_ms,
                                                     bool* timed_out);

@@ -13,6 +13,8 @@
 #include "campaign/engine.hpp"
 #include "campaign/export.hpp"
 #include "campaign/jsonl.hpp"
+#include "core/rng.hpp"
+#include "serve/faultline.hpp"
 #include "serve/wire.hpp"
 
 namespace dualrad::serve {
@@ -45,10 +47,24 @@ void sleep_checking_stop(std::chrono::milliseconds total,
   while (remaining.count() > 0) {
     if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
     const auto chunk = std::min<milliseconds>(remaining, milliseconds(50));
+    // Chunked cooperative wait; callers pass bounded, jittered delays
+    // (reconnect_backoff_delay / poll). lint: backoff-ok
     std::this_thread::sleep_for(chunk);
     remaining -= chunk;
   }
 }
+
+/// FNV-1a over the worker id, to key its private jitter stream.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kBackoffDomain = 0xB0FF0E55ull;
 
 /// One logical session with the coordinator, surviving reconnects. request()
 /// is at-least-once: a dropped connection mid-request reconnects (fresh
@@ -86,6 +102,12 @@ class Session {
       std::optional<std::string> reply =
           recv_frame(fd_, reader_, options_.reply_timeout_ms, &timed_out);
       if (!reply.has_value()) {
+        if (reader_.corrupt() && options_.log) {
+          // Reconnect-only recovery: the drop() below discards the poisoned
+          // reader with the connection (wire.hpp FrameReader contract).
+          options_.log("[worker " + worker_id_ + "] dropping connection: " +
+                       reader_.corrupt_reason());
+        }
         drop();
         continue;
       }
@@ -113,14 +135,17 @@ class Session {
   }
 
   /// Connect + hello handshake; false only on stop request. A fresh
-  /// reconnect window opens each time we enter the disconnected state.
+  /// reconnect window opens each time we enter the disconnected state, and
+  /// retries back off exponentially (bounded, deterministically jittered —
+  /// reconnect_backoff_delay) instead of hammering a dead endpoint at a
+  /// fixed cadence.
   [[nodiscard]] bool ensure_connected() {
     if (fd_ >= 0) return true;
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(static_cast<std::int64_t>(
             options_.reconnect_window_secs * 1e6));
-    for (;;) {
+    for (std::uint64_t attempt = 0;; ++attempt) {
       if (stop_requested()) return false;
       const int fd = connect_();
       if (fd >= 0 && handshake(fd)) {
@@ -135,7 +160,10 @@ class Session {
             "dualrad: worker lost the coordinator (reconnect window "
             "exhausted)");
       }
-      sleep_checking_stop(options_.reconnect_backoff, options_.stop);
+      sleep_checking_stop(
+          reconnect_backoff_delay(options_, worker_id_, attempt,
+                                  lifetime_attempts_++),
+          options_.stop);
     }
   }
 
@@ -160,9 +188,30 @@ class Session {
   int fd_ = -1;
   FrameReader reader_;
   bool connected_once_ = false;
+  std::uint64_t lifetime_attempts_ = 0;
 };
 
 }  // namespace
+
+std::chrono::milliseconds reconnect_backoff_delay(
+    const WorkerOptions& options, std::string_view worker_id,
+    std::uint64_t episode_attempt, std::uint64_t lifetime_attempt) {
+  const auto base = static_cast<double>(options.backoff_base.count());
+  const auto cap = static_cast<double>(options.backoff_max.count());
+  // Exponent is clamped before the shift so long outages can't overflow.
+  const std::uint64_t exp = std::min<std::uint64_t>(episode_attempt, 20);
+  const double nominal =
+      std::min(cap, base * static_cast<double>(std::uint64_t{1} << exp));
+  // Deterministic jitter in [0.5, 1.5): keyed by the worker id and the
+  // lifetime attempt count, so a replayed run backs off identically while
+  // two workers desynchronize (their ids differ).
+  const CounterRng rng(mix_seed(kBackoffDomain, fnv1a64(worker_id)));
+  const double jitter =
+      0.5 + rng.uniform(static_cast<Round>(lifetime_attempt));
+  const double ms = std::min(cap, nominal * jitter);
+  return std::chrono::milliseconds(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(ms)));
+}
 
 WorkerStats run_worker(const std::function<int()>& connect,
                        const std::vector<campaign::Scenario>& catalogue,
@@ -247,6 +296,30 @@ WorkerStats run_worker(const std::function<int()>& connect,
       }
       const campaign::TrialExecutor::Outcome outcome =
           executor.run(trial, trial_options);
+      // Lifecycle fault point: crash or stall BEFORE the commit, so the
+      // injected failure exercises the at-least-once window (the trial ran
+      // but its row never reached the coordinator).
+      if (FaultInjector* injector = fault_injector()) {
+        int stall_ms = 0;
+        switch (injector->next_lifecycle(&stall_ms)) {
+          case LifecycleFault::None:
+            break;
+          case LifecycleFault::Crash:
+            log("injected crash before commit of " + scenario_name + "#" +
+                std::to_string(trial));
+            if (options.crash) {
+              options.crash();
+            }
+            throw InjectedCrash();
+          case LifecycleFault::Stall:
+            log("injected stall (" + std::to_string(stall_ms) +
+                " ms) before commit of " + scenario_name + "#" +
+                std::to_string(trial));
+            sleep_checking_stop(std::chrono::milliseconds(stall_ms),
+                                options.stop);
+            break;
+        }
+      }
       if (telemetry) session.send_oneway(telemetry_payload(outcome.telemetry));
       const std::optional<std::string> ack =
           session.request(commit_payload(unit, outcome.row));

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/scenario.hpp"
@@ -32,8 +35,13 @@ struct WorkerOptions {
   unsigned threads_per_trial = 0;
   /// Pause between lease polls when the coordinator says `wait` or `idle`.
   std::chrono::milliseconds poll{300};
-  /// Pause between reconnection attempts.
-  std::chrono::milliseconds reconnect_backoff{200};
+  /// Reconnect backoff: attempt k (within one disconnected episode) waits
+  /// min(backoff_max, backoff_base * 2^k) scaled by a deterministic jitter
+  /// factor in [0.5, 1.5) keyed by (worker id, lifetime attempt count) — so
+  /// a replayed run backs off identically, and two workers that died
+  /// together never hammer the coordinator in lockstep.
+  std::chrono::milliseconds backoff_base{100};
+  std::chrono::milliseconds backoff_max{2000};
   /// Give up (throw) after this long without a successful connection.
   double reconnect_window_secs = 15.0;
   /// Receive timeout for each expected reply.
@@ -44,6 +52,11 @@ struct WorkerOptions {
   const std::atomic<bool>* stop = nullptr;
   /// Optional progress logger (one line per event).
   std::function<void(const std::string&)> log;
+  /// Invoked when an installed faultline injector decrees a mid-unit crash.
+  /// Defaults to throwing (in-process tests catch and restart); the CLI
+  /// worker overrides with _exit so the supervisor's respawn path is the
+  /// one exercised.
+  std::function<void()> crash;
 };
 
 struct WorkerStats {
@@ -54,6 +67,21 @@ struct WorkerStats {
   std::size_t reconnects = 0;
   bool stopped = false;  ///< true if options.stop ended the run early
 };
+
+/// Thrown by the default WorkerOptions::crash handler when an installed
+/// faultline injector kills the worker mid-unit. In-process harnesses catch
+/// it and restart run_worker; the campaign heals via lease expiry + commit
+/// dedup.
+struct InjectedCrash : std::runtime_error {
+  InjectedCrash() : std::runtime_error("dualrad: injected worker crash") {}
+};
+
+/// The reconnect delay for `attempt` (0-based, within one disconnected
+/// episode), jittered deterministically by (worker_id, lifetime_attempt).
+/// Exposed for tests: bounded by backoff_max, monotone in expectation.
+[[nodiscard]] std::chrono::milliseconds reconnect_backoff_delay(
+    const WorkerOptions& options, std::string_view worker_id,
+    std::uint64_t episode_attempt, std::uint64_t lifetime_attempt);
 
 /// Run the worker loop until the coordinator reports the campaign done (or
 /// `options.stop` is raised). `connect` must return a connected socket fd or

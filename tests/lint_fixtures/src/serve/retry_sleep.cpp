@@ -1,0 +1,31 @@
+// Fixture: raw sleep primitives inside the serve stack. Every wait here
+// must be a bounded, jittered backoff (sleep_checking_stop +
+// reconnect_backoff_delay) — naked sleeps in retry loops are flagged.
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+void retry_forever(bool (*connect)()) {
+  while (!connect()) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));  // finding
+  }
+}
+
+void poll_with_usleep() {
+  ::usleep(100000);  // finding
+}
+
+void annotated_bounded_wait() {
+  // Chunked cooperative wait, callers pass bounded delays. lint: backoff-ok
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+void not_a_sleep_call(int sleep) {
+  // The identifier `sleep` without a call, and wrapper names containing
+  // "sleep", must not be flagged.
+  (void)sleep;
+}
+
+void sleep_checking_stop_caller(void (*sleep_checking_stop)(int)) {
+  sleep_checking_stop(100);
+}

@@ -10,7 +10,13 @@
 #   4. a coordinator kill -9 mid-campaign: a fresh coordinator resumes from
 #      the journal and the merged export is still byte-identical;
 #   5. batch-mode SIGINT: dualrad_campaign exits nonzero, leaves a durable
-#      journal, and --resume reproduces the uninterrupted bytes.
+#      journal (trial rows AND telemetry rows), and --resume reproduces the
+#      uninterrupted bytes plus a complete telemetry export;
+#   6. chaos soak: the same campaign under a deterministic --faults plan
+#      (drops, corruption, delays, resets, worker crashes, stalls) across
+#      worker pools of 1, 2, and 4 — the merged exports must STILL be
+#      byte-identical to the clean batch run, and nothing may quarantine
+#      under transient faults (the serve process exits 3 if anything did).
 #
 # Timing tolerance: kill points are chosen so interruptions land
 # mid-campaign on any plausible machine, but every leg also passes if a
@@ -111,10 +117,11 @@ grep -q "resumed" "$WORK/crash2.log" || [ "$LINES" -eq 0 ]
 cmp "$WORK/batch.jsonl" "$WORK/crash.jsonl"
 echo "   resumed from journal: byte-identical"
 
-echo "== batch SIGINT + --resume"
+echo "== batch SIGINT + --resume (rows and telemetry through the journal)"
 set +e
 "$CAMPAIGN" --filter=$FILTER --seed=$SEED --trials=1000 \
-  --journal="$WORK/int.journal" --quiet 2>"$WORK/int.log" &
+  --journal="$WORK/int.journal" --telemetry-jsonl="$WORK/int.telem.partial" \
+  --quiet 2>"$WORK/int.log" &
 BATCH_PID=$!
 sleep 0.4
 kill -INT $BATCH_PID 2>/dev/null
@@ -129,11 +136,39 @@ else
   echo "   SIGINT exit code $RC, $(wc -l <"$WORK/int.journal") row(s) journaled"
 fi
 "$CAMPAIGN" --filter=$FILTER --seed=$SEED --trials=1000 \
-  --resume="$WORK/int.journal" --jsonl="$WORK/int.jsonl" --quiet \
+  --resume="$WORK/int.journal" --jsonl="$WORK/int.jsonl" \
+  --telemetry-jsonl="$WORK/int.telem.jsonl" --quiet \
   2>>"$WORK/int.log"
 "$CAMPAIGN" --filter=$FILTER --seed=$SEED --trials=1000 \
   --jsonl="$WORK/int-ref.jsonl" --quiet
 cmp "$WORK/int-ref.jsonl" "$WORK/int.jsonl"
-echo "   batch resume: byte-identical"
+# Telemetry carries wall times (not byte-reproducible), but the resumed
+# export must be COMPLETE: journal-replayed rows fill the trials that were
+# skipped, one row per trial.
+ROWS=$(wc -l <"$WORK/int.jsonl")
+TELEM=$(wc -l <"$WORK/int.telem.jsonl")
+[ "$ROWS" -eq "$TELEM" ] || {
+  echo "telemetry resume incomplete: $TELEM row(s) for $ROWS trial(s)" >&2
+  exit 1
+}
+echo "   batch resume: byte-identical, telemetry complete ($TELEM rows)"
+
+echo "== chaos soak: --faults plan across worker pools {1, 2, 4}"
+FAULTS="seed=77;drop=0.03;corrupt=0.02;delay=0.05:25;reset=0.02;crash=0.01;stall=0.01:300"
+for n in 1 2 4; do
+  "$SERVE" serve --listen="$WORK/chaos$n.sock" --filter=$FILTER --seed=$SEED \
+    --trials=$TRIALS --unit-trials=8 --spawn=$n --lease-secs=2 \
+    --faults="$FAULTS" \
+    --journal="$WORK/chaos$n.journal" \
+    --quarantine-jsonl="$WORK/chaos$n.quarantine" \
+    --jsonl="$WORK/chaos$n.jsonl" --summary-csv="$WORK/chaos$n.csv" --quiet \
+    2>"$WORK/chaos$n.log"
+  # Exit 0 (set -e) already proves nothing quarantined; pin it explicitly.
+  [ ! -s "$WORK/chaos$n.quarantine" ]
+  cmp "$WORK/batch.jsonl" "$WORK/chaos$n.jsonl"
+  cmp "$WORK/batch.csv" "$WORK/chaos$n.csv"
+  grep -q "faults" "$WORK/chaos$n.log"
+  echo "   $n worker(s) under chaos: byte-identical"
+done
 
 echo "serve smoke: all legs passed"

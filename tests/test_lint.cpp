@@ -317,6 +317,36 @@ TEST(LintCheckpointDurability, WriteNeedsAppendAndFsync) {
   EXPECT_TRUE(run_lint("src/serve/checkpoint.cpp", disciplined).empty());
 }
 
+// --- unbounded-retry -------------------------------------------------------
+
+TEST(LintUnboundedRetry, FlagsRawSleepsInServe) {
+  const std::string text =
+      "void f() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n"
+      "void g() { ::usleep(1000); }\n"
+      "void h() { sleep(1); }\n";
+  const auto fs = run_lint("src/serve/worker.cpp", text);
+  ASSERT_EQ(fs.size(), 3u);
+  for (const lint::Finding& f : fs) EXPECT_EQ(f.rule, "unbounded-retry");
+}
+
+TEST(LintUnboundedRetry, OnlyAppliesToServe) {
+  const std::string text =
+      "void f() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n";
+  EXPECT_TRUE(run_lint("src/obs/heartbeat.cpp", text).empty());
+  EXPECT_TRUE(run_lint("tools/dualrad_serve.cpp", text).empty());
+  EXPECT_FALSE(run_lint("src/serve/wire.cpp", text).empty());
+}
+
+TEST(LintUnboundedRetry, AnnotationAndWrappersEscape) {
+  // The annotation on the line (or the line above) silences the rule, and
+  // identifiers merely containing "sleep" are not sleep calls.
+  const std::string ok =
+      "// bounded, jittered delay from the caller. lint: backoff-ok\n"
+      "void f() { std::this_thread::sleep_for(chunk); }\n"
+      "void g() { sleep_checking_stop(delay, stop); }\n";
+  EXPECT_TRUE(run_lint("src/serve/worker.cpp", ok).empty());
+}
+
 // --- allowlist -------------------------------------------------------------
 
 TEST(LintAllowlist, ParseSkipsCommentsAndBlanks) {
@@ -356,7 +386,7 @@ TEST(LintAllowlist, AllowedFindingsDoNotFail) {
 // --- rule table ------------------------------------------------------------
 
 TEST(LintRules, TableIsComplete) {
-  ASSERT_EQ(lint::rules().size(), 7u);
+  ASSERT_EQ(lint::rules().size(), 8u);
   for (const lint::Rule& r : lint::rules()) {
     EXPECT_FALSE(r.id.empty());
     EXPECT_FALSE(r.summary.empty());
@@ -384,6 +414,7 @@ const std::map<std::string, std::size_t> kFixtureExpectations = {
     {"src/mac/fp_accum.cpp", 2},
     {"src/campaign/thread_detach.cpp", 1},
     {"src/serve/checkpoint_buffered.cpp", 2},
+    {"src/serve/retry_sleep.cpp", 2},
     {"src/obs/sampling_ok.cpp", 0},
     {"src/core/clean.cpp", 0},
 };

@@ -26,6 +26,7 @@
 #include "obs/heartbeat.hpp"
 #include "serve/checkpoint.hpp"
 #include "serve/coordinator.hpp"
+#include "serve/faultline.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
 #include "serve/worker.hpp"
@@ -748,6 +749,591 @@ TEST(ServeCoordinator, ConcurrentStatusDuringCommits) {
   EXPECT_EQ(s.committed, s.total_trials);
   EXPECT_EQ(s.units_pending, 0u);
   EXPECT_EQ(s.units_leased, 0u);
+}
+
+// --- faultline: plan parsing and schedule determinism ------------------------
+
+TEST(ServeFaultline, SpecParsesAndRoundTrips) {
+  const FaultPlan plan = parse_fault_plan(
+      "seed=7;drop=0.03;corrupt=0.02;delay=0.05:25;torn=0.1;crash=0.01;"
+      "stall=0.01:300");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.drop, 0.03);
+  EXPECT_DOUBLE_EQ(plan.corrupt, 0.02);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.05);
+  EXPECT_EQ(plan.delay_ms, 25);
+  EXPECT_DOUBLE_EQ(plan.torn_write, 0.1);
+  EXPECT_DOUBLE_EQ(plan.crash, 0.01);
+  EXPECT_DOUBLE_EQ(plan.stall, 0.01);
+  EXPECT_EQ(plan.stall_ms, 300);
+  EXPECT_TRUE(plan.any_wire());
+  EXPECT_TRUE(plan.any_journal());
+  EXPECT_TRUE(plan.any_lifecycle());
+
+  // Canonical spec round-trips to the same plan (commas also accepted).
+  const FaultPlan again = parse_fault_plan(fault_plan_to_spec(plan));
+  EXPECT_EQ(fault_plan_to_spec(again), fault_plan_to_spec(plan));
+  EXPECT_EQ(parse_fault_plan("drop=0.5,reset=0.25").reset, 0.25);
+  EXPECT_FALSE(parse_fault_plan("").any_wire());
+}
+
+TEST(ServeFaultline, SpecRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_fault_plan("dorp=0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("drop=abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("drop"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("delay=0.1:-5"), std::invalid_argument);
+  // A category's probabilities must sum to <= 1.
+  EXPECT_THROW((void)parse_fault_plan("drop=0.6;corrupt=0.6"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("torn=0.7;enospc=0.7"),
+               std::invalid_argument);
+}
+
+TEST(ServeFaultline, ScheduleIsAPureFunctionOfSeedSiteAndIndex) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop = 0.2;
+  plan.corrupt = 0.2;
+  plan.delay = 0.2;
+  plan.crash = 0.3;
+  FaultInjector a(plan), b(plan);
+
+  // Same plan => identical decision sequences, and the stateful draw agrees
+  // with the side-effect-free replay of the same index.
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    int ms = 0;
+    EXPECT_EQ(a.next_wire(&ms), b.wire_decision(k)) << k;
+    EXPECT_EQ(a.lifecycle_decision(k), b.lifecycle_decision(k)) << k;
+  }
+
+  // A different seed produces a different schedule.
+  FaultPlan other = plan;
+  other.seed = 43;
+  const FaultInjector c(other);
+  bool differs = false;
+  for (std::uint64_t k = 0; k < 256 && !differs; ++k) {
+    differs = b.wire_decision(k) != c.wire_decision(k);
+  }
+  EXPECT_TRUE(differs);
+
+  // Totals track what actually fired.
+  const FaultTotals totals = a.totals();
+  EXPECT_GT(totals.total(), 0u);
+  EXPECT_EQ(totals.total(),
+            totals.drops + totals.corruptions + totals.delays);
+}
+
+// --- faultline: wire chaos stays byte-identical -------------------------------
+
+TEST(ServeFaultline, WireChaosPoolsAreByteIdenticalToBatch) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 777);
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop = 0.05;
+  plan.corrupt = 0.05;
+  plan.partial = 0.03;
+  plan.reset = 0.02;
+  plan.delay = 0.10;
+  plan.delay_ms = 2;
+  FaultInjector injector(plan);
+  const ScopedFaultInjector guard(injector);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    Coordinator::Config config;
+    config.master_seed = 777;
+    config.unit_trials = 1;
+    config.lease_secs = 2.0;
+    Coordinator coordinator(config);
+    coordinator.load_campaign(scenarios);
+    Server server(coordinator, {});
+    LoopbackNet net(server);
+
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        WorkerOptions options;
+        options.poll = std::chrono::milliseconds(10);
+        options.backoff_base = std::chrono::milliseconds(2);
+        options.backoff_max = std::chrono::milliseconds(40);
+        (void)run_worker(net.connector(), scenarios, options);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+
+    ASSERT_TRUE(coordinator.done()) << workers << " workers";
+    const CampaignResult result = coordinator.finalize();
+    EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials)
+        << workers << " workers";
+    EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries)
+        << workers << " workers";
+  }
+  // The plan's probabilities guarantee traffic was actually disturbed.
+  EXPECT_GT(injector.totals().total(), 0u);
+}
+
+TEST(ServeFaultline, InjectedCrashesHealThroughRestartAndRequeue) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 31);
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.crash = 0.3;
+  FaultInjector injector(plan);
+  const ScopedFaultInjector guard(injector);
+
+  Coordinator::Config config;
+  config.master_seed = 31;
+  config.unit_trials = 2;
+  config.lease_secs = 0.05;  // requeue the crashed worker's unit quickly
+  config.adaptive_lease = false;
+  config.max_unit_expiries = 0;  // never quarantine: the run must complete
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+  Server server(coordinator, {});
+  LoopbackNet net(server);
+
+  // The default WorkerOptions::crash handler throws InjectedCrash; the
+  // harness plays supervisor and restarts the worker until the campaign
+  // drains. Every crash loses an uncommitted trial, re-run after requeue.
+  WorkerOptions options;
+  options.poll = std::chrono::milliseconds(10);
+  int restarts = 0;
+  for (;;) {
+    try {
+      (void)run_worker(net.connector(), scenarios, options);
+      break;
+    } catch (const InjectedCrash&) {
+      ASSERT_LT(++restarts, 500) << "crash loop did not converge";
+    }
+  }
+  EXPECT_TRUE(coordinator.done());
+  EXPECT_GT(injector.totals().crashes, 0u);
+  EXPECT_EQ(restarts, static_cast<int>(injector.totals().crashes));
+
+  const CampaignResult result = coordinator.finalize();
+  EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials);
+  EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries);
+}
+
+// --- coordinator self-healing -------------------------------------------------
+
+TEST(ServeCoordinator, PoisonUnitsAreQuarantinedAndLateCommitsHeal) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("serve/poison/one")};
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 13);
+
+  Coordinator::Config config;
+  config.master_seed = 13;
+  config.unit_trials = 0;  // one unit covering all four trials
+  config.lease_secs = 0.01;
+  config.adaptive_lease = false;
+  config.max_unit_expiries = 2;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+
+  // Two leases expire without a single commit: the unit is poison.
+  for (int round = 0; round < 2; ++round) {
+    const std::optional<JobSpec> job = coordinator.lease("doomed");
+    ASSERT_TRUE(job.has_value()) << round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_FALSE(coordinator.lease("doomed").has_value());
+
+  // Quarantined, the campaign settles instead of livelocking.
+  EXPECT_TRUE(coordinator.done());
+  const Coordinator::Status status = coordinator.status();
+  EXPECT_EQ(status.units_quarantined, 1u);
+  EXPECT_EQ(status.trials_quarantined, 4u);
+  EXPECT_GE(status.lease_expiries, 2u);
+  EXPECT_TRUE(status.finished);
+
+  const std::vector<Coordinator::QuarantinedUnit> manifest =
+      coordinator.quarantined();
+  ASSERT_EQ(manifest.size(), 1u);
+  EXPECT_EQ(manifest[0].scenario, "serve/poison/one");
+  EXPECT_EQ(manifest[0].trial_begin, 0u);
+  EXPECT_EQ(manifest[0].trial_end, 4u);
+  EXPECT_EQ(manifest[0].committed, 0u);
+  EXPECT_EQ(manifest[0].expiries, 2u);
+  EXPECT_EQ(manifest[0].last_worker, "doomed");
+
+  // finalize() exports the committed subset — here, nothing.
+  const CampaignResult partial = coordinator.finalize();
+  EXPECT_TRUE(partial.trials.empty());
+  EXPECT_TRUE(partial.summaries.empty());
+
+  // Late commits are still accepted and heal the unit back to Done.
+  const campaign::TrialExecutor executor(scenarios[0], 13);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(coordinator.commit(executor.run(t).row),
+              Coordinator::Commit::Accepted);
+  }
+  EXPECT_EQ(coordinator.status().units_quarantined, 0u);
+  EXPECT_TRUE(coordinator.quarantined().empty());
+  const CampaignResult healed = coordinator.finalize();
+  EXPECT_EQ(campaign::trials_to_jsonl(healed.trials), ref_trials);
+  EXPECT_EQ(campaign::summaries_to_jsonl(healed.summaries), ref_summaries);
+}
+
+TEST(ServeCoordinator, PartialQuarantineExportsTheCommittedSubset) {
+  // Two scenarios; one completes, the other is quarantined half-committed.
+  const std::vector<Scenario> scenarios = {
+      cheap_scenario("serve/subset/done"),
+      cheap_scenario("serve/subset/poison")};
+  Coordinator::Config config;
+  config.master_seed = 17;
+  config.unit_trials = 0;
+  config.lease_secs = 0.01;
+  config.adaptive_lease = false;
+  config.max_unit_expiries = 1;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+
+  const campaign::TrialExecutor done_exec(scenarios[0], 17);
+  const campaign::TrialExecutor poison_exec(scenarios[1], 17);
+  const std::optional<JobSpec> first = coordinator.lease("w");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->scenario, "serve/subset/done");
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    (void)coordinator.commit(done_exec.run(t).row);
+  }
+  const std::optional<JobSpec> second = coordinator.lease("w");
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(second->scenario, "serve/subset/poison");
+  (void)coordinator.commit(poison_exec.run(0).row);  // half-done, then stuck
+  (void)coordinator.commit(poison_exec.run(1).row);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_FALSE(coordinator.lease("w").has_value());  // sweep quarantines
+
+  ASSERT_TRUE(coordinator.done());
+  const std::vector<Coordinator::QuarantinedUnit> manifest =
+      coordinator.quarantined();
+  ASSERT_EQ(manifest.size(), 1u);
+  EXPECT_EQ(manifest[0].scenario, "serve/subset/poison");
+  EXPECT_EQ(manifest[0].committed, 2u);
+  EXPECT_EQ(coordinator.status().trials_quarantined, 2u);
+
+  // The export carries the complete scenario plus the committed half of the
+  // quarantined one, with per-scenario summary counts to match.
+  const CampaignResult result = coordinator.finalize();
+  EXPECT_EQ(result.trials.size(), 6u);
+  ASSERT_EQ(result.summaries.size(), 2u);
+  EXPECT_EQ(result.summaries[0].trials, 4u);
+  EXPECT_EQ(result.summaries[1].trials, 2u);
+}
+
+TEST(ServeCoordinator, SpeculativeRedispatchHandsStragglersToIdleWorkers) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("serve/spec/one")};
+  Coordinator::Config config;
+  config.master_seed = 19;
+  config.unit_trials = 0;  // one unit: the straggler
+  config.lease_secs = 0.2;
+  config.adaptive_lease = false;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+
+  const std::optional<JobSpec> slow = coordinator.lease("slow");
+  ASSERT_TRUE(slow.has_value());
+
+  // Too early: the lease is under half its window, and the holder itself
+  // never gets a speculative copy of its own unit.
+  EXPECT_FALSE(coordinator.lease("idle").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(coordinator.lease("slow").has_value());
+
+  // Past the half-window mark an idle worker is handed a second copy...
+  const std::optional<JobSpec> copy = coordinator.lease("idle");
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_EQ(copy->unit, slow->unit);
+  EXPECT_EQ(coordinator.status().speculative_dispatches, 1u);
+  // ...but only one copy per lease term.
+  EXPECT_FALSE(coordinator.lease("idle2").has_value());
+
+  // Either holder finishing the unit finishes the campaign (commit dedup
+  // makes the duplicate execution harmless).
+  const campaign::TrialExecutor executor(scenarios[0], 19);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    (void)coordinator.commit(executor.run(t).row);
+  }
+  EXPECT_TRUE(coordinator.done());
+  EXPECT_EQ(coordinator.status().units_done, 1u);
+}
+
+TEST(ServeCoordinator, AdaptiveLeaseTracksObservedUnitTimes) {
+  const std::vector<Scenario> scenarios = cheap_campaign();
+  Coordinator::Config config;
+  config.master_seed = 23;
+  config.unit_trials = 1;  // 10 units: enough adaptive observations
+  config.lease_secs = 30.0;
+  config.lease_observations = 4;
+  config.lease_floor_secs = 0.05;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+
+  // Before any unit completes, the window is the static lease_secs.
+  EXPECT_EQ(coordinator.status().lease_ms_effective, 30'000u);
+  drain(coordinator, scenarios, "w0");
+  // After the campaign, it is derived from observed unit seconds: p90 x
+  // slack for millisecond-scale units lands far below 30 s (clamped to the
+  // 50 ms floor when the trials are fast enough).
+  const std::size_t adapted = coordinator.status().lease_ms_effective;
+  EXPECT_LT(adapted, 30'000u);
+  EXPECT_GE(adapted, 50u);
+}
+
+TEST(ServeWorker, ReconnectBackoffIsBoundedJitteredAndDeterministic) {
+  WorkerOptions options;
+  options.backoff_base = std::chrono::milliseconds(100);
+  options.backoff_max = std::chrono::milliseconds(2000);
+
+  // Attempt 0: base x jitter in [0.5, 1.5) of 100 ms.
+  const auto first = reconnect_backoff_delay(options, "w0", 0, 0);
+  EXPECT_GE(first.count(), 50);
+  EXPECT_LT(first.count(), 150);
+
+  // Replays are deterministic; the cap binds every attempt, even absurd ones.
+  EXPECT_EQ(reconnect_backoff_delay(options, "w0", 3, 7),
+            reconnect_backoff_delay(options, "w0", 3, 7));
+  for (const std::uint64_t attempt : {5u, 10u, 63u, 1000u}) {
+    const auto d = reconnect_backoff_delay(options, "w0", attempt, attempt);
+    EXPECT_LE(d.count(), 2000) << attempt;
+    EXPECT_GE(d.count(), 1) << attempt;
+  }
+
+  // Jitter varies with the lifetime attempt and with the worker identity, so
+  // two workers that died together do not retry in lockstep forever.
+  bool attempt_varies = false;
+  for (std::uint64_t k = 1; k < 8 && !attempt_varies; ++k) {
+    attempt_varies = reconnect_backoff_delay(options, "w0", 0, k) !=
+                     reconnect_backoff_delay(options, "w0", 0, 0);
+  }
+  EXPECT_TRUE(attempt_varies);
+  bool worker_varies = false;
+  for (std::uint64_t k = 0; k < 8 && !worker_varies; ++k) {
+    worker_varies = reconnect_backoff_delay(options, "w0", 0, k) !=
+                    reconnect_backoff_delay(options, "w1", 0, k);
+  }
+  EXPECT_TRUE(worker_varies);
+}
+
+// --- wire: poisoned-reader contract ------------------------------------------
+
+TEST(ServeWire, PoisonedReaderReportsReasonAndRefusesReuse) {
+  std::string stream = encode_frame("{\"type\":\"status\"}");
+  stream[stream.size() - 1] ^= 0x01;  // corrupt the payload
+  FrameReader reader;
+  reader.feed(stream);
+  EXPECT_FALSE(reader.next().has_value());
+  ASSERT_TRUE(reader.corrupt());
+  EXPECT_FALSE(reader.corrupt_reason().empty());
+  EXPECT_NE(reader.corrupt_reason().find("CRC"), std::string::npos);
+
+  // Feeding more data is discarded: recovery is reconnect-only.
+  reader.feed(encode_frame("{\"type\":\"status\"}"));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.corrupt());
+
+  // Reusing a poisoned reader on a live socket is a caller bug, not a hang:
+  // recv_frame refuses it loudly.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  bool timed_out = false;
+  EXPECT_THROW((void)recv_frame(sv[0], reader, 100, &timed_out),
+               std::logic_error);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// --- checkpoint: write-failure paths ------------------------------------------
+
+TEST(ServeCheckpoint, InjectedWriteFailuresFailLoudlyAndKeepThePrefix) {
+  // Torn write: half a line reaches disk, the append throws, and the loader
+  // recovers the prefix by dropping the torn tail.
+  {
+    const TempPath journal("torn");
+    JournalWriter writer;
+    writer.open(journal.path);
+    writer.append(sample_row(0, 11));
+    {
+      FaultPlan plan;
+      plan.torn_write = 1.0;
+      FaultInjector injector(plan);
+      const ScopedFaultInjector guard(injector);
+      EXPECT_THROW(writer.append(sample_row(1, 22)), std::runtime_error);
+      EXPECT_EQ(injector.totals().torn_writes, 1u);
+    }
+    writer.close();
+    const JournalLoad load = load_journal(journal.path);
+    EXPECT_EQ(load.rows.size(), 1u);
+    EXPECT_EQ(load.dropped_torn_tail, 1u);
+
+    // truncate_torn_tail makes the file appendable again.
+    truncate_torn_tail(journal.path, load);
+    JournalWriter again;
+    again.open(journal.path);
+    again.append(sample_row(2, 33));
+    again.close();
+    const JournalLoad healed = load_journal(journal.path);
+    EXPECT_EQ(healed.rows.size(), 2u);
+    EXPECT_EQ(healed.dropped_torn_tail, 0u);
+  }
+
+  // fsync EIO: the line is durable-unknown — the append throws even though
+  // the bytes made it out, and the journal stays fully parseable.
+  {
+    const TempPath journal("eio");
+    JournalWriter writer;
+    writer.open(journal.path);
+    writer.append(sample_row(0, 11));
+    {
+      FaultPlan plan;
+      plan.fsync_eio = 1.0;
+      FaultInjector injector(plan);
+      const ScopedFaultInjector guard(injector);
+      EXPECT_THROW(writer.append(sample_row(1, 22)), std::runtime_error);
+    }
+    writer.close();
+    const JournalLoad load = load_journal(journal.path);
+    EXPECT_EQ(load.rows.size(), 2u);
+    EXPECT_EQ(load.dropped_torn_tail, 0u);
+  }
+
+  // ENOSPC: nothing reaches disk; the valid prefix is untouched.
+  {
+    const TempPath journal("enospc");
+    JournalWriter writer;
+    writer.open(journal.path);
+    writer.append(sample_row(0, 11));
+    {
+      FaultPlan plan;
+      plan.append_enospc = 1.0;
+      FaultInjector injector(plan);
+      const ScopedFaultInjector guard(injector);
+      EXPECT_THROW(writer.append(sample_row(1, 22)), std::runtime_error);
+    }
+    writer.append(sample_row(1, 22));  // injector gone: the retry commits
+    writer.close();
+    const JournalLoad load = load_journal(journal.path);
+    EXPECT_EQ(load.rows.size(), 2u);
+    EXPECT_EQ(load.dropped_torn_tail, 0u);
+  }
+}
+
+TEST(ServeCoordinator, JournalFailureDegradesButCommitsSurvive) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("serve/degrade/one")};
+  const auto [ref_trials, ref_summaries] = batch_reference(scenarios, 29);
+
+  const TempPath journal("degrade");
+  Coordinator::Config config;
+  config.master_seed = 29;
+  config.unit_trials = 0;
+  config.journal_path = journal.path;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+  ASSERT_TRUE(coordinator.lease("w").has_value());
+
+  const campaign::TrialExecutor executor(scenarios[0], 29);
+  EXPECT_EQ(coordinator.commit(executor.run(0).row),
+            Coordinator::Commit::Accepted);
+  {
+    // Disk dies: the commit still succeeds (availability over durability),
+    // checkpointing is disabled and counted.
+    FaultPlan plan;
+    plan.append_enospc = 1.0;
+    FaultInjector injector(plan);
+    const ScopedFaultInjector guard(injector);
+    EXPECT_EQ(coordinator.commit(executor.run(1).row),
+              Coordinator::Commit::Accepted);
+  }
+  EXPECT_EQ(coordinator.status().journal_errors, 1u);
+  for (std::uint32_t t = 2; t < 4; ++t) {
+    (void)coordinator.commit(executor.run(t).row);
+  }
+  EXPECT_TRUE(coordinator.done());
+  const CampaignResult result = coordinator.finalize();
+  EXPECT_EQ(campaign::trials_to_jsonl(result.trials), ref_trials);
+  EXPECT_EQ(campaign::summaries_to_jsonl(result.summaries), ref_summaries);
+
+  // The journal holds exactly the pre-failure prefix, still loadable.
+  EXPECT_EQ(load_journal(journal.path).rows.size(), 1u);
+}
+
+// --- checkpoint: telemetry journaling -----------------------------------------
+
+[[nodiscard]] campaign::TelemetryRow sample_telemetry(const std::string& name,
+                                                      std::uint32_t trial) {
+  campaign::TelemetryRow row;
+  row.scenario = name;
+  row.trial = trial;
+  row.wall_us = 1000 + trial;
+  row.polled = 10 * trial;
+  row.deliveries = 3;
+  return row;
+}
+
+TEST(ServeCheckpoint, TelemetryLinesRoundTripAndDedupeFirstWins) {
+  const TrialRow trial = sample_row(0, 11);
+  const campaign::TelemetryRow t0 = sample_telemetry(trial.scenario, 0);
+  campaign::TelemetryRow t0_later = t0;
+  t0_later.wall_us = 9999;  // a replayed row with different (wall) bytes
+
+  const JournalLoad load =
+      parse_journal(journal_line(trial) + journal_line(t0) +
+                    journal_line(t0_later) + journal_line(sample_row(1, 22)));
+  EXPECT_EQ(load.rows.size(), 2u);
+  ASSERT_EQ(load.telemetry.size(), 1u);
+  // First-wins: telemetry is nondeterministic, so replays never conflict.
+  EXPECT_EQ(load.telemetry[0].wall_us, 1000);
+  EXPECT_EQ(load.telemetry[0].polled, 0u);
+
+  // A telemetry line with a corrupted CRC still poisons the journal.
+  std::string bad = journal_line(t0);
+  bad[0] = bad[0] == '0' ? '1' : '0';
+  EXPECT_THROW((void)parse_journal(bad + journal_line(trial)),
+               std::invalid_argument);
+}
+
+TEST(ServeCoordinator, ResumeReplaysJournaledTelemetry) {
+  const std::vector<Scenario> scenarios = {cheap_scenario("serve/telem/one")};
+  const TempPath journal("telem");
+
+  std::string first_run_telemetry;
+  {
+    Coordinator::Config config;
+    config.master_seed = 37;
+    config.unit_trials = 0;
+    config.journal_path = journal.path;
+    config.collect_telemetry = true;
+    Coordinator coordinator(config);
+    coordinator.load_campaign(scenarios);
+    ASSERT_TRUE(coordinator.lease("w").has_value());
+    const campaign::TrialExecutor executor(scenarios[0], 37);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      (void)coordinator.commit(executor.run(t).row);
+      coordinator.add_telemetry(sample_telemetry(scenarios[0].name, t));
+    }
+    ASSERT_TRUE(coordinator.done());
+    first_run_telemetry =
+        campaign::telemetry_to_jsonl(coordinator.finalize().telemetry);
+    EXPECT_FALSE(first_run_telemetry.empty());
+  }
+
+  // A fresh coordinator resuming the journal recovers rows AND telemetry.
+  Coordinator::Config config;
+  config.master_seed = 37;
+  config.unit_trials = 0;
+  config.journal_path = journal.path;
+  config.resume = true;
+  config.collect_telemetry = true;
+  Coordinator coordinator(config);
+  coordinator.load_campaign(scenarios);
+  EXPECT_EQ(coordinator.status().resumed, 4u);
+  EXPECT_TRUE(coordinator.done());
+  EXPECT_EQ(campaign::telemetry_to_jsonl(coordinator.finalize().telemetry),
+            first_run_telemetry);
 }
 
 }  // namespace

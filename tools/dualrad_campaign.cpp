@@ -11,12 +11,15 @@
 // deterministic per-trial seeding: for a fixed --seed, all output files are
 // byte-identical regardless of --threads.
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "campaign/builtin_scenarios.hpp"
@@ -96,12 +99,16 @@ void usage() {
       "                      seconds (trials done/total, rounds/s, eta, rss)\n"
       "  --journal=PATH      append every completed trial row to a crash-safe\n"
       "                      checkpoint journal (whole-line writes + fsync).\n"
+      "                      With --telemetry-jsonl, telemetry rows are\n"
+      "                      journaled alongside their trial rows.\n"
       "                      On SIGINT/SIGTERM the campaign stops cleanly,\n"
       "                      exits nonzero, and can be continued later\n"
       "  --resume=PATH       load a checkpoint journal and skip its trials;\n"
       "                      continues appending to the same file unless\n"
-      "                      --journal names another. The merged output is\n"
-      "                      byte-identical to an uninterrupted run\n"
+      "                      --journal names another. Journaled telemetry\n"
+      "                      rows are replayed into --telemetry-jsonl. The\n"
+      "                      merged output is byte-identical to an\n"
+      "                      uninterrupted run\n"
       "  --perfetto=PATH     after the campaign, deterministically re-run one\n"
       "                      trial (trial 0 of --perfetto-scenario, default\n"
       "                      the first matching scenario) with telemetry and\n"
@@ -305,10 +312,12 @@ int main(int argc, char** argv) {
     // without re-execution, and the engine validates their seeds so a wrong
     // --seed or grid fails loudly instead of merging foreign rows.
     std::vector<campaign::TrialRow> resume_rows;
+    std::vector<campaign::TelemetryRow> journal_telemetry;
     if (!options.resume_path.empty()) {
       const serve::JournalLoad loaded = serve::load_journal(options.resume_path);
       serve::truncate_torn_tail(options.resume_path, loaded);
       resume_rows = loaded.rows;
+      journal_telemetry = loaded.telemetry;
       std::fprintf(stderr,
                    "[campaign] resume: %zu committed trial(s) from %s%s\n",
                    resume_rows.size(), options.resume_path.c_str(),
@@ -319,10 +328,13 @@ int main(int argc, char** argv) {
     if (!options.journal_path.empty()) {
       journal.open(options.journal_path);
       config.row_sink = [&journal](const campaign::TrialRow& row,
-                                   const campaign::TelemetryRow*) {
+                                   const campaign::TelemetryRow* telemetry) {
         campaign::TrialRow untimed = row;
         untimed.wall_us = -1;
         journal.append(untimed);
+        // Telemetry rides the same crash-safe journal so --resume can
+        // reconstruct the full --telemetry-jsonl without re-running trials.
+        if (telemetry != nullptr) journal.append(*telemetry);
       };
     }
     std::signal(SIGINT, on_cancel_signal);
@@ -381,8 +393,34 @@ int main(int argc, char** argv) {
                            mac_rows_to_jsonl(collector->sorted_rows()));
     }
     if (!options.telemetry_jsonl_path.empty()) {
+      // Resumed trials skip execution, so their telemetry slots are empty;
+      // fill them from rows replayed out of the journal (keyed by scenario
+      // and trial), then drop any still-empty slot — a journal written
+      // without --telemetry-jsonl has trial rows but no telemetry.
+      std::vector<campaign::TelemetryRow> rows = result.telemetry;
+      if (!journal_telemetry.empty()) {
+        std::map<std::pair<std::string, std::uint32_t>,
+                 const campaign::TelemetryRow*>
+            replay;
+        for (const campaign::TelemetryRow& t : journal_telemetry) {
+          replay.emplace(std::make_pair(t.scenario, t.trial), &t);
+        }
+        for (std::size_t i = 0; i < rows.size() && i < result.trials.size();
+             ++i) {
+          if (!rows[i].scenario.empty()) continue;  // ran this session
+          const campaign::TrialRow& trial = result.trials[i];
+          const auto it =
+              replay.find(std::make_pair(trial.scenario, trial.trial));
+          if (it != replay.end()) rows[i] = *it->second;
+        }
+      }
+      rows.erase(std::remove_if(rows.begin(), rows.end(),
+                                [](const campaign::TelemetryRow& t) {
+                                  return t.scenario.empty();
+                                }),
+                 rows.end());
       campaign::write_file(options.telemetry_jsonl_path,
-                           campaign::telemetry_to_jsonl(result.telemetry));
+                           campaign::telemetry_to_jsonl(rows));
     }
     if (!options.perfetto_path.empty()) {
       const campaign::Scenario* traced = &scenarios.front();

@@ -40,6 +40,7 @@
 #include "campaign/jsonl.hpp"
 #include "obs/heartbeat.hpp"
 #include "serve/coordinator.hpp"
+#include "serve/faultline.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
 #include "serve/worker.hpp"
@@ -82,6 +83,8 @@ struct Options {
   std::string summary_jsonl_path;
   std::string summary_csv_path;
   std::string telemetry_jsonl_path;
+  std::string quarantine_jsonl_path;
+  std::string faults;  ///< fault-injection spec (faultline.hpp grammar)
   bool telemetry_wanted = false;
   bool quiet = false;
   bool help = false;
@@ -110,12 +113,20 @@ void usage() {
       "  --heartbeat=SECS    print coordinator status every SECS seconds\n"
       "  --jsonl/--csv/--summary-jsonl/--summary-csv/--telemetry-jsonl=PATH\n"
       "                      exports, byte-identical to a batch run\n"
+      "  --quarantine-jsonl=PATH  write the quarantined-unit manifest (one\n"
+      "                      JSON object per quarantined unit)\n"
+      "  --faults=SPEC       deterministic fault injection, e.g.\n"
+      "                      'seed=7;drop=0.03;corrupt=0.02;delay=0.05:25;\n"
+      "                      crash=0.01;stall=0.01:300' — propagated to\n"
+      "                      --spawn'ed workers; exit 3 if units were\n"
+      "                      quarantined\n"
       "  --quiet             suppress the summary table\n"
       "\n"
       "worker — run one worker process\n"
       "  --connect=EP        coordinator endpoint (required)\n"
       "  --id=NAME           stable worker id (default: assigned)\n"
       "  --threads-per-trial=N  override the coordinator's value\n"
+      "  --faults=SPEC       inject wire/lifecycle faults in this worker\n"
       "\n"
       "submit — load a campaign into an --idle coordinator\n"
       "  --connect=EP --filter=SUBSTR [--seed=N --trials=N]\n"
@@ -184,6 +195,10 @@ std::optional<Options> parse(int argc, char** argv) try {
       options.summary_csv_path = *v;
     } else if (auto v = value("--telemetry-jsonl=")) {
       options.telemetry_jsonl_path = *v;
+    } else if (auto v = value("--quarantine-jsonl=")) {
+      options.quarantine_jsonl_path = *v;
+    } else if (auto v = value("--faults=")) {
+      options.faults = *v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -235,12 +250,40 @@ void print_summaries(const campaign::CampaignResult& result) {
   table.print(std::cout);
 }
 
+/// JSONL manifest of quarantined units (explicit, machine-readable: the
+/// campaign "completed" but these trial ranges are missing from the export).
+std::string quarantine_to_jsonl(
+    const std::vector<serve::Coordinator::QuarantinedUnit>& units) {
+  std::string out;
+  for (const auto& q : units) {
+    out += "{\"scenario\":\"" + q.scenario + "\"";
+    out += ",\"trial_begin\":" + std::to_string(q.trial_begin);
+    out += ",\"trial_end\":" + std::to_string(q.trial_end);
+    out += ",\"committed\":" + std::to_string(q.committed);
+    out += ",\"expiries\":" + std::to_string(q.expiries);
+    out += ",\"last_worker\":\"" + q.last_worker + "\"}\n";
+  }
+  return out;
+}
+
 int run_serve(const Options& options) {
   if (options.listen.empty()) {
     std::fprintf(stderr, "serve requires --listen=ENDPOINT\n");
     return 2;
   }
   const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+
+  // Fault injection in the serve process covers the coordinator's journal
+  // writes and the server-side reply sends; workers get the same spec via
+  // --spawn propagation and inject on their side of the wire.
+  std::optional<serve::FaultInjector> injector;
+  std::optional<serve::ScopedFaultInjector> injector_guard;
+  if (!options.faults.empty()) {
+    injector.emplace(serve::parse_fault_plan(options.faults));
+    injector_guard.emplace(*injector);
+    std::fprintf(stderr, "[serve] fault injection armed: %s\n",
+                 serve::fault_plan_to_spec(injector->plan()).c_str());
+  }
 
   serve::Coordinator::Config config;
   config.master_seed = options.seed;
@@ -287,17 +330,29 @@ int run_serve(const Options& options) {
   // --spawn: fork workers exec'ing this binary's worker subcommand, so the
   // one-machine case needs a single command line. Each child is a full
   // process (own address space, own sockets) — kill -9 on one exercises the
-  // same lease-requeue path as losing a remote machine.
-  std::vector<pid_t> children;
-  for (unsigned i = 0; i < options.spawn; ++i) {
+  // same lease-requeue path as losing a remote machine. The fault spec is
+  // propagated so injected wire/lifecycle faults happen worker-side too.
+  const auto spawn_worker = [&options]() -> pid_t {
     const pid_t pid = ::fork();
     if (pid == 0) {
       const std::string connect_arg = "--connect=" + options.listen;
-      ::execl("/proc/self/exe", "dualrad_serve", "worker", connect_arg.c_str(),
-              static_cast<char*>(nullptr));
+      const std::string faults_arg = "--faults=" + options.faults;
+      if (options.faults.empty()) {
+        ::execl("/proc/self/exe", "dualrad_serve", "worker",
+                connect_arg.c_str(), static_cast<char*>(nullptr));
+      } else {
+        ::execl("/proc/self/exe", "dualrad_serve", "worker",
+                connect_arg.c_str(), faults_arg.c_str(),
+                static_cast<char*>(nullptr));
+      }
       std::perror("execl");
       ::_exit(127);
     }
+    return pid;
+  };
+  std::vector<pid_t> children;
+  for (unsigned i = 0; i < options.spawn; ++i) {
+    const pid_t pid = spawn_worker();
     if (pid > 0) children.push_back(pid);
   }
 
@@ -307,15 +362,40 @@ int run_serve(const Options& options) {
   if (options.heartbeat_secs > 0) {
     heartbeat.start(std::chrono::seconds(options.heartbeat_secs), [&] {
       const serve::Coordinator::Status s = coordinator.status();
+      std::string extra;
+      if (s.lease_expiries != 0) {
+        extra += " | " + std::to_string(s.lease_expiries) + " expiry(ies)";
+      }
+      if (s.speculative_dispatches != 0) {
+        extra += " | " + std::to_string(s.speculative_dispatches) +
+                 " speculative";
+      }
+      if (s.units_quarantined != 0) {
+        extra += " | " + std::to_string(s.units_quarantined) + " quarantined";
+      }
+      if (s.journal_errors != 0) {
+        extra +=
+            " | " + std::to_string(s.journal_errors) + " journal error(s)";
+      }
+      if (injector.has_value()) {
+        extra += " | faults: " + injector->totals().summary();
+      }
       std::fprintf(stderr,
                    "[serve] %zu/%zu trials | units %zu pending %zu leased "
-                   "%zu done | %zu worker(s)\n",
+                   "%zu done | %zu worker(s) | lease %zu ms%s\n",
                    s.committed, s.total_trials, s.units_pending,
-                   s.units_leased, s.units_done, s.workers);
+                   s.units_leased, s.units_done, s.workers,
+                   s.lease_ms_effective, extra.c_str());
     });
   }
 
+  // Supervision loop: besides waiting for completion, reap exited workers
+  // (WNOHANG) and respawn replacements while the campaign is unfinished — a
+  // worker lost to an injected crash (or a real one) must not shrink the
+  // pool. Bounded so a worker dying instantly on startup cannot fork-bomb.
   bool interrupted = false;
+  unsigned respawns = 0;
+  constexpr unsigned kMaxRespawns = 512;
   for (;;) {
     if (g_stop.load(std::memory_order_relaxed)) {
       interrupted = true;
@@ -328,23 +408,46 @@ int run_serve(const Options& options) {
     if (!coordinator.campaign_loaded()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
+    for (pid_t& pid : children) {
+      if (pid <= 0) continue;
+      int wstatus = 0;
+      if (::waitpid(pid, &wstatus, WNOHANG) != pid) continue;
+      pid = -1;
+      if (coordinator.campaign_loaded() && !coordinator.done() &&
+          !g_stop.load(std::memory_order_relaxed) && respawns < kMaxRespawns) {
+        const pid_t fresh = spawn_worker();
+        if (fresh > 0) {
+          pid = fresh;
+          ++respawns;
+          std::fprintf(stderr,
+                       "[serve] worker exited (status %d) — respawned "
+                       "(%u respawn(s))\n",
+                       wstatus, respawns);
+        }
+      }
+    }
   }
   heartbeat.stop();
 
   if (!interrupted) {
     // Let workers hear "done" on their next lease poll before the listener
     // goes away; spawned children are reaped so their exit is observable.
-    if (!children.empty()) {
-      for (const pid_t pid : children) {
-        int wstatus = 0;
-        (void)::waitpid(pid, &wstatus, 0);
-      }
-    } else {
+    bool any_child = false;
+    for (const pid_t pid : children) {
+      if (pid <= 0) continue;
+      any_child = true;
+      int wstatus = 0;
+      (void)::waitpid(pid, &wstatus, 0);
+    }
+    if (!any_child && options.spawn == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(500));
     }
   } else {
-    for (const pid_t pid : children) (void)::kill(pid, SIGTERM);
     for (const pid_t pid : children) {
+      if (pid > 0) (void)::kill(pid, SIGTERM);
+    }
+    for (const pid_t pid : children) {
+      if (pid <= 0) continue;
       int wstatus = 0;
       (void)::waitpid(pid, &wstatus, 0);
     }
@@ -368,6 +471,29 @@ int run_serve(const Options& options) {
   }
 
   const campaign::CampaignResult result = coordinator.finalize();
+  const std::vector<serve::Coordinator::QuarantinedUnit> quarantined =
+      coordinator.quarantined();
+  if (!quarantined.empty()) {
+    // Explicit manifest: the campaign completed (no livelock), but these
+    // units never committed fully — exports below contain only committed
+    // rows.
+    std::fprintf(stderr,
+                 "[serve] WARNING: %zu unit(s) quarantined (exports contain "
+                 "the committed subset):\n",
+                 quarantined.size());
+    for (const auto& q : quarantined) {
+      std::fprintf(stderr,
+                   "[serve]   %s trials [%u,%u): %u/%u committed, "
+                   "%u lease expiries, last worker '%s'\n",
+                   q.scenario.c_str(), q.trial_begin, q.trial_end, q.committed,
+                   q.trial_end - q.trial_begin, q.expiries,
+                   q.last_worker.c_str());
+    }
+  }
+  if (!options.quarantine_jsonl_path.empty()) {
+    campaign::write_file(options.quarantine_jsonl_path,
+                         quarantine_to_jsonl(quarantined));
+  }
   if (!options.jsonl_path.empty()) {
     campaign::write_file(options.jsonl_path,
                          campaign::trials_to_jsonl(result.trials));
@@ -389,7 +515,9 @@ int run_serve(const Options& options) {
                          campaign::telemetry_to_jsonl(result.telemetry));
   }
   if (!options.quiet) print_summaries(result);
-  return 0;
+  // Exit 3 distinguishes "completed with quarantined gaps" from clean
+  // success — scripted callers must not treat a partial export as whole.
+  return quarantined.empty() ? 0 : 3;
 }
 
 int run_worker_command(const Options& options) {
@@ -398,6 +526,14 @@ int run_worker_command(const Options& options) {
     return 2;
   }
   install_signal_handlers();
+
+  std::optional<serve::FaultInjector> injector;
+  std::optional<serve::ScopedFaultInjector> injector_guard;
+  if (!options.faults.empty()) {
+    injector.emplace(serve::parse_fault_plan(options.faults));
+    injector_guard.emplace(*injector);
+  }
+
   const campaign::ScenarioRegistry registry = campaign::builtin_registry();
   serve::WorkerOptions worker_options;
   worker_options.worker_id = options.worker_id;
@@ -408,6 +544,9 @@ int run_worker_command(const Options& options) {
       std::fprintf(stderr, "%s\n", line.c_str());
     };
   }
+  // An injected crash kills the whole process (exit 137, like kill -9 would
+  // report), so the serve supervisor's respawn path is what heals it.
+  worker_options.crash = [] { ::_exit(137); };
   const std::string endpoint = options.connect;
   const serve::WorkerStats stats = serve::run_worker(
       [&endpoint] { return serve::connect_endpoint(endpoint); },
@@ -417,6 +556,11 @@ int run_worker_command(const Options& options) {
                "commit(s), %zu reconnect(s)\n",
                stats.worker_id.c_str(), stats.stopped ? "stopped" : "done",
                stats.units, stats.trials, stats.duplicates, stats.reconnects);
+  if (injector.has_value()) {
+    std::fprintf(stderr, "[worker %s] faults injected: %s\n",
+                 stats.worker_id.c_str(),
+                 injector->totals().summary().c_str());
+  }
   return stats.stopped ? 130 : 0;
 }
 
@@ -468,7 +612,13 @@ int run_status(const Options& options) {
   show("units_pending");
   show("units_leased");
   show("units_done");
+  show("units_quarantined");
+  show("trials_quarantined");
   show("workers");
+  show("lease_expiries");
+  show("speculative_dispatches");
+  show("journal_errors");
+  show("lease_ms_effective");
   return 0;
 }
 

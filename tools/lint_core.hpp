@@ -39,6 +39,10 @@
 ///   checkpoint-durability  serve/checkpoint.* must keep the whole-line
 ///                          O_APPEND + fsync discipline and never write
 ///                          through buffered streams.
+///   unbounded-retry        raw sleep primitives in src/serve/ — every wait
+///                          in the serve stack must be a bounded, jittered
+///                          backoff (or a cooperative stop-checking wait),
+///                          never a naked sleep inside a retry loop.
 ///
 /// Deliberately lightweight: a comment/string-stripping scanner plus a small
 /// amount of per-file identifier tracking — no libclang, no build, runs over
@@ -117,6 +121,14 @@ inline const std::vector<Rule>& rules() {
        "recovery guarantee",
        "write through JournalWriter (::write on an O_APPEND fd, fsync per "
        "line); never std::ofstream/fopen/fprintf in serve/checkpoint.*"},
+      {"unbounded-retry", "lint: backoff-ok",
+       "raw sleep primitive in the serve stack",
+       "a naked sleep inside a reconnect/poll loop is an unbounded retry: no "
+       "exponential backoff, no jitter, no stop-flag check — workers hammer "
+       "a dead coordinator in lockstep and ignore shutdown",
+       "wait via sleep_checking_stop with a reconnect_backoff_delay (bounded "
+       "exponential + deterministic jitter), or annotate the primitive with "
+       "'// lint: backoff-ok (<why the wait is bounded>)'"},
   };
   return table;
 }
@@ -416,6 +428,7 @@ class Linter {
     check_fp_accumulate(path, lines);
     check_thread_detach(path, lines);
     check_checkpoint_durability(path, lines);
+    check_unbounded_retry(path, lines);
   }
 
   [[nodiscard]] const std::vector<Finding>& findings() const {
@@ -817,6 +830,28 @@ class Linter {
              std::string("::write() without ") +
                  (!has_append ? "O_APPEND" : "fsync") +
                  " discipline in this file");
+    }
+  }
+
+  // --- unbounded-retry -----------------------------------------------------
+
+  void check_unbounded_retry(std::string_view path,
+                             const std::vector<SourceLine>& lines) {
+    if (path.rfind("src/serve/", 0) != 0) return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      const char* what = nullptr;
+      if (find_token(code, "sleep_for") != std::string::npos ||
+          find_token(code, "sleep_until") != std::string::npos) {
+        what = "std::this_thread::sleep_for/sleep_until";
+      } else if (has_call(code, "usleep") || has_call(code, "nanosleep") ||
+                 has_call(code, "sleep")) {
+        what = "C library sleep()";
+      }
+      if (what != nullptr) {
+        report("unbounded-retry", path, i + 1, lines,
+               std::string(what) + " without bounded backoff");
+      }
     }
   }
 
