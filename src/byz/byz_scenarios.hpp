@@ -1,0 +1,14 @@
+#pragma once
+
+#include "campaign/registry.hpp"
+
+/// \file byz_scenarios.hpp
+/// The byz/* campaign family: Byzantine node faults (byz/plan.hpp) against
+/// the certified-propagation receiver and its uncertified foil (byz/cpa.hpp)
+/// on the sparse scale topologies, 1k-100k nodes.
+
+namespace dualrad::byz {
+
+void register_byz_scenarios(campaign::ScenarioRegistry& registry);
+
+}  // namespace dualrad::byz

@@ -1,0 +1,163 @@
+#include "byz/plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/rng.hpp"
+
+namespace dualrad::byz {
+
+ByzantinePlan::ByzantinePlan(int f) : f_(f) {
+  DUALRAD_REQUIRE(f >= 1, "Byzantine plan needs f >= 1");
+}
+
+void ByzantinePlan::add(NodeId node, ByzBehavior behavior, Round active_from) {
+  DUALRAD_REQUIRE(!bound(), "add() is for static faults; use try_corrupt "
+                            "after bind");
+  DUALRAD_REQUIRE(active_from >= 1, "fault activation round must be >= 1");
+  faults_.push_back(ByzFault{node, behavior, active_from, kNoToken});
+}
+
+TokenId ByzantinePlan::assign_forged_token(NodeId node) {
+  // Deterministic fresh id: hash the bind seed with the forger's node, probe
+  // within the reserved band until unused. The probe sequence depends only
+  // on (seed, node, ids already taken), and corruptions happen in the same
+  // order in every engine, so the assignment is replay-stable.
+  std::uint64_t h = mix_seed(id_seed_, static_cast<std::uint64_t>(node));
+  for (;;) {
+    const auto offset = static_cast<TokenId>(h & 0xFFFFF);
+    const TokenId tok = kForgedTokenBase + offset;
+    if (used_tokens_.insert(tok).second) return tok;
+    h = splitmix64(h);
+  }
+}
+
+void ByzantinePlan::commit(ByzFault fault, std::span<const NodeId> g_row) {
+  byz_flag_[static_cast<std::size_t>(fault.node)] = 1;
+  for (const NodeId w : g_row) ++byz_in_[static_cast<std::size_t>(w)];
+  if (fault.behavior == ByzBehavior::Forge) {
+    fault.forged_token = assign_forged_token(fault.node);
+    ++forge_count_;
+  }
+  faults_.push_back(fault);
+  ++version_;
+}
+
+void ByzantinePlan::bind(const DualGraph& net,
+                         const std::vector<NodeId>& token_sources,
+                         std::uint64_t seed) {
+  DUALRAD_REQUIRE(!bound(), "plan is already bound");
+  n_ = net.node_count();
+  net_ = &net;
+  id_seed_ = mix_seed(seed, 0xB12F);
+  const auto un = static_cast<std::size_t>(n_);
+  byz_flag_.assign(un, 0);
+  source_flag_.assign(un, 0);
+  byz_in_.assign(un, 0);
+  if (token_sources.empty()) {
+    source_flag_[static_cast<std::size_t>(net.source())] = 1;
+  } else {
+    for (const NodeId s : token_sources) {
+      DUALRAD_REQUIRE(s >= 0 && s < n_, "token source out of range");
+      source_flag_[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+
+  // Commit every static fault, then validate the final state: bind checks
+  // the *placement as a whole*, so mutually-adjacent static faults are fine
+  // as long as every correct node ends within the f bound.
+  std::vector<ByzFault> pending;
+  pending.swap(faults_);
+  const CsrGraph& g = net.g_csr();
+  for (const ByzFault& fault : pending) {
+    DUALRAD_REQUIRE(fault.node >= 0 && fault.node < n_,
+                    "Byzantine fault node out of range");
+    DUALRAD_REQUIRE(!is_byzantine(fault.node),
+                    "duplicate Byzantine fault at node " +
+                        std::to_string(fault.node));
+    DUALRAD_REQUIRE(!source_flag_[static_cast<std::size_t>(fault.node)],
+                    "token source node " + std::to_string(fault.node) +
+                        " cannot be Byzantine");
+    DUALRAD_REQUIRE(fault.behavior != ByzBehavior::Forge ||
+                        forge_count_ < kMaxForgers,
+                    "too many forgers (cap " + std::to_string(kMaxForgers) +
+                        ")");
+    commit(fault, g.row(fault.node));
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (byz_flag_[uv]) continue;
+    DUALRAD_REQUIRE(
+        byz_in_[uv] <= f_,
+        "placement is not " + std::to_string(f_) + "-locally bounded: node " +
+            std::to_string(v) + " has " + std::to_string(byz_in_[uv]) +
+            " Byzantine in-neighbors");
+  }
+  ++version_;
+  freeze();
+}
+
+void ByzantinePlan::freeze() { baseline_count_ = faults_.size(); }
+
+void ByzantinePlan::reset_adaptive() {
+  if (faults_.size() == baseline_count_) return;
+  const CsrGraph& g = net_->g_csr();
+  for (std::size_t i = faults_.size(); i > baseline_count_; --i) {
+    const ByzFault& fault = faults_[i - 1];
+    byz_flag_[static_cast<std::size_t>(fault.node)] = 0;
+    for (const NodeId w : g.row(fault.node)) {
+      --byz_in_[static_cast<std::size_t>(w)];
+    }
+    if (fault.behavior == ByzBehavior::Forge) {
+      used_tokens_.erase(fault.forged_token);
+      --forge_count_;
+    }
+  }
+  faults_.resize(baseline_count_);
+  ++version_;
+}
+
+bool ByzantinePlan::try_corrupt(NodeId node, ByzBehavior behavior,
+                                Round active_from) {
+  DUALRAD_REQUIRE(bound(), "try_corrupt needs a bound plan");
+  DUALRAD_REQUIRE(active_from >= 1, "fault activation round must be >= 1");
+  if (node < 0 || node >= n_) return false;
+  const auto uv = static_cast<std::size_t>(node);
+  if (byz_flag_[uv] || source_flag_[uv]) return false;
+  if (behavior == ByzBehavior::Forge && forge_count_ >= kMaxForgers) {
+    return false;
+  }
+  // Incremental f-locally-bounded check: corrupting `node` raises the
+  // Byzantine in-degree of each of its correct G-out-neighbors by one
+  // (its own bound stops mattering — it is no longer correct).
+  const auto row = net_->g_csr().row(node);
+  for (const NodeId w : row) {
+    const auto uw = static_cast<std::size_t>(w);
+    if (!byz_flag_[uw] && byz_in_[uw] + 1 > f_) return false;
+  }
+  commit(ByzFault{node, behavior, active_from, kNoToken}, row);
+  return true;
+}
+
+ByzantinePlan make_random_plan(const DualGraph& net, int f, std::size_t count,
+                               ByzBehavior behavior,
+                               const std::vector<NodeId>& token_sources,
+                               std::uint64_t seed) {
+  ByzantinePlan plan(f);
+  plan.bind(net, token_sources, seed);
+  StreamRng rng(mix_seed(seed, 0x9F));
+  const auto n = static_cast<std::uint64_t>(net.node_count());
+  std::size_t placed = 0;
+  // Rejection sampling with a bounded budget: graphs whose every remaining
+  // node would break the f bound (or the forger cap) simply yield a smaller
+  // placement, which is still a valid plan.
+  for (std::size_t attempt = 0; placed < count && attempt < 20 * count + 64;
+       ++attempt) {
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (plan.try_corrupt(v, behavior, /*active_from=*/1)) ++placed;
+  }
+  plan.freeze();
+  return plan;
+}
+
+}  // namespace dualrad::byz

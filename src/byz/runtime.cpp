@@ -1,0 +1,157 @@
+#include "byz/runtime.hpp"
+
+#include <algorithm>
+
+namespace dualrad::byz {
+
+ByzRuntime::ByzRuntime(const ByzantinePlan& plan,
+                       const std::vector<ProcessId>& process_of_node)
+    : plan_(&plan),
+      pids_(&process_of_node),
+      synced_version_(~std::uint64_t{0}) {
+  DUALRAD_REQUIRE(plan.bound(), "Byzantine plan must be bound before a run");
+  DUALRAD_REQUIRE(
+      static_cast<std::size_t>(plan.node_count()) == process_of_node.size(),
+      "Byzantine plan is bound to a different network size");
+  seen_mask_.assign(process_of_node.size(), 0);
+  refresh();
+}
+
+void ByzRuntime::refresh() {
+  if (plan_->version() == synced_version_) return;
+  const std::vector<ByzFault>& faults = plan_->faults();
+  // Within one execution the plan only grows (adaptive corruption); shrinks
+  // happen through reset_adaptive between runs, before this runtime exists.
+  DUALRAD_CHECK(faults.size() >= synced_faults_,
+                "Byzantine plan shrank mid-execution");
+  for (std::size_t i = synced_faults_; i < faults.size(); ++i) {
+    if (faults[i].behavior != ByzBehavior::Forge) continue;
+    Slot slot;
+    slot.token = faults[i].forged_token;
+    slot.forger = faults[i].node;
+    slot.active_from = faults[i].active_from;
+    DUALRAD_CHECK(slots_.size() < ByzantinePlan::kMaxForgers,
+                  "forger count exceeds the seen-mask width");
+    slot_of_token_.emplace_back(slot.token,
+                                static_cast<std::uint32_t>(slots_.size()));
+    slots_.push_back(slot);
+  }
+  std::sort(slot_of_token_.begin(), slot_of_token_.end());
+  by_node_.assign(faults.begin(), faults.end());
+  std::sort(by_node_.begin(), by_node_.end(),
+            [](const ByzFault& a, const ByzFault& b) { return a.node < b.node; });
+  synced_faults_ = faults.size();
+  synced_version_ = plan_->version();
+}
+
+std::size_t ByzRuntime::slot_index(TokenId tok) const {
+  const auto it = std::lower_bound(
+      slot_of_token_.begin(), slot_of_token_.end(), tok,
+      [](const std::pair<TokenId, std::uint32_t>& e, TokenId t) {
+        return e.first < t;
+      });
+  if (it == slot_of_token_.end() || it->first != tok) return npos;
+  return it->second;
+}
+
+void ByzRuntime::rewrite_senders(Round round, std::vector<NodeId>& senders,
+                                 std::vector<Message>& sent_msg,
+                                 std::vector<NodeId>& removed,
+                                 std::vector<NodeId>& added) {
+  refresh();
+  if (by_node_.empty()) return;
+
+  // Suppress the protocol sends of active Byzantine nodes: one merge pass
+  // over the ascending senders against the node-sorted faults.
+  {
+    auto fault = by_node_.begin();
+    auto out = senders.begin();
+    for (const NodeId v : senders) {
+      while (fault != by_node_.end() && fault->node < v) ++fault;
+      if (fault != by_node_.end() && fault->node == v &&
+          round >= fault->active_from) {
+        removed.push_back(v);
+        continue;
+      }
+      *out++ = v;
+    }
+    senders.erase(out, senders.end());
+  }
+
+  // Inject one forged-token message per active forger. Slot order is fault
+  // order; the senders merge below restores ascending node order.
+  injected_.clear();
+  for (Slot& slot : slots_) {
+    if (round < slot.active_from) continue;
+    ++slot.injections;
+    if (slot.first_injected == kNever) slot.first_injected = round;
+    sent_msg[static_cast<std::size_t>(slot.forger)] =
+        Message{slot.token,
+                (*pids_)[static_cast<std::size_t>(slot.forger)],
+                round,
+                /*payload=*/0};
+    injected_.push_back(slot.forger);
+    added.push_back(slot.forger);
+  }
+  if (!injected_.empty()) {
+    std::sort(injected_.begin(), injected_.end());
+    const auto middle =
+        senders.insert(senders.end(), injected_.begin(), injected_.end());
+    std::inplace_merge(senders.begin(), middle, senders.end());
+  }
+
+  // Victim provenance over the final senders: Byzantine protocol sends were
+  // suppressed above, so any non-forger transmitting a forged token is a
+  // protocol-following relay that accepted it — a forgery "win".
+  for (const NodeId v : senders) {
+    const TokenId tok = sent_msg[static_cast<std::size_t>(v)].token;
+    if (!is_forged(tok)) continue;
+    const std::size_t idx = slot_index(tok);
+    DUALRAD_CHECK(idx != npos, "unregistered forged token in flight");
+    Slot& slot = slots_[idx];
+    if (v == slot.forger) continue;
+    ++slot.victim_sends;
+    if (slot.first_victim == kInvalidNode) {
+      slot.first_victim = v;
+      slot.first_victim_round = round;
+    }
+  }
+}
+
+bool ByzRuntime::may_transmit(NodeId v, TokenId tok) const {
+  const std::size_t idx = slot_index(tok);
+  if (idx == npos) return false;
+  if (slots_[idx].forger == v) return true;
+  return (seen_mask_[static_cast<std::size_t>(v)] &
+          (std::uint64_t{1} << idx)) != 0;
+}
+
+void ByzRuntime::note_delivery(TokenId tok, NodeId v) {
+  const std::size_t idx = slot_index(tok);
+  DUALRAD_CHECK(idx != npos, "delivered an unregistered forged token");
+  seen_mask_[static_cast<std::size_t>(v)] |= std::uint64_t{1} << idx;
+}
+
+std::vector<ForgedTokenRecord> ByzRuntime::finalize() const {
+  std::vector<ForgedTokenRecord> records;
+  records.reserve(slots_.size());
+  for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+    const Slot& slot = slots_[idx];
+    ForgedTokenRecord rec;
+    rec.token = slot.token;
+    rec.forger = slot.forger;
+    rec.first_injected = slot.first_injected;
+    rec.injections = slot.injections;
+    rec.first_victim = slot.first_victim;
+    rec.first_victim_round = slot.first_victim_round;
+    rec.victim_sends = slot.victim_sends;
+    const std::uint64_t bit = std::uint64_t{1} << idx;
+    for (const std::uint64_t mask : seen_mask_) {
+      if (mask & bit) ++rec.receptions;
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace dualrad::byz

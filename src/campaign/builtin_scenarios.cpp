@@ -4,6 +4,7 @@
 
 #include "adversary/basic_adversaries.hpp"
 #include "adversary/greedy_blocker.hpp"
+#include "byz/byz_scenarios.hpp"
 #include "algorithms/cms_oblivious.hpp"
 #include "algorithms/decay.hpp"
 #include "algorithms/harmonic.hpp"
@@ -361,6 +362,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
 
   // --- Multi-message broadcast over the abstract MAC layer (src/mac/). ---
   mac::register_mac_scenarios(registry);
+
+  // --- Byzantine node faults vs certified propagation (src/byz/). ---
+  byz::register_byz_scenarios(registry);
 }
 
 ScenarioRegistry builtin_registry() {

@@ -73,6 +73,23 @@ std::vector<std::string> check_broadcast_contract(const Scenario& scenario,
     }
   }
 
+  // --- no-creation, node-fault edition (src/byz/): a forged token *winning*
+  // — some protocol-following node accepting and relaying it — is delivery
+  // of a token the environment never injected. The engine keeps forged ids
+  // out of token_first, so the provenance records are where the breach
+  // shows, with the exact token, forger, first relaying node, and round.
+  for (const ForgedTokenRecord& f : result.forged_tokens) {
+    if (!f.won()) continue;
+    violation(out, row, "no-creation",
+              "forged token " + std::to_string(f.token) + " (forger node " +
+                  std::to_string(f.forger) + ") won: first relayed by node " +
+                  std::to_string(f.first_victim) + " at round " +
+                  std::to_string(f.first_victim_round) + ", " +
+                  std::to_string(f.injections) + " injections, " +
+                  std::to_string(f.victim_sends) + " victim sends, " +
+                  std::to_string(f.receptions) + " receptions");
+  }
+
   // Single-token API consistency: first_token is an alias of token_first[0].
   if (!result.token_first.empty() &&
       result.first_token != result.token_first.front()) {

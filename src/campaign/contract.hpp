@@ -16,7 +16,11 @@
 ///  - no-creation: no token is delivered unless it was injected — the
 ///    execution carries exactly the configured token set, and each token has
 ///    exactly one environment injection (one node holding it at round 0, the
-///    configured source when the scenario names one).
+///    configured source when the scenario names one). Under Byzantine node
+///    faults (src/byz/) this also covers forged tokens: a forged token that
+///    *won* — was accepted and relayed by a correct node, per
+///    SimResult::forged_tokens — is reported with the token id, forger,
+///    first relaying node, and round.
 ///  - no-duplication: each (node, token) has a single well-formed first
 ///    delivery: rounds in [0, rounds_executed] or kNever, and the
 ///    single-token view (first_token) is consistent with token_first[0].

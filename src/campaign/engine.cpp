@@ -79,6 +79,7 @@ TrialExecutor::Outcome TrialExecutor::run(std::uint32_t trial,
   sim.seed = seed;
   sim.token_sources = spec_.token_sources;
   sim.threads = options.threads_per_trial;
+  sim.trace = options.trace;
   // One telemetry registry per trial, attached out-of-band. Window 1: only
   // whole-execution totals are kept, so the per-round ring can be minimal.
   obs::RoundTelemetry telemetry(1);
@@ -250,6 +251,7 @@ CampaignResult run_campaign(const std::vector<Scenario>& scenarios,
   options.threads_per_trial = config.threads_per_trial;
   options.measure_wall_time = config.measure_wall_time;
   options.collect_telemetry = config.collect_telemetry;
+  options.trace = config.trial_trace;
 
   const auto run_one = [&](std::size_t job) {
     const PreparedScenario& p = prepared[scenario_of_job[job]];

@@ -132,6 +132,12 @@ struct CampaignConfig {
   /// seconds: trials done/total, aggregate simulated rounds/s, ETA, and the
   /// process's current RSS. Purely cosmetic; never touches results.
   unsigned heartbeat_secs = 0;
+  /// SimConfig::trace of every trial. None (the default) keeps trials lean;
+  /// observers that re-verify executions (e.g. the trace auditor behind
+  /// dualrad_campaign --audit) need TraceLevel::Compressed or Full here.
+  /// Trial rows and default exports are identical for every level — traces
+  /// ride on the SimResult handed to `observer` and are dropped after it.
+  TraceLevel trial_trace = TraceLevel::None;
   /// Optional per-trial observer with access to the full SimResult (e.g. for
   /// audits that need first_token). Called from worker threads but
   /// serialized by the engine; completion order is scheduling-dependent, so
@@ -167,6 +173,8 @@ struct TrialOptions {
   unsigned threads_per_trial = 1;
   bool measure_wall_time = false;
   bool collect_telemetry = false;
+  /// SimConfig::trace of the trial (see CampaignConfig::trial_trace).
+  TraceLevel trace = TraceLevel::None;
 };
 
 /// One scenario prepared for individually-addressed trial execution: the

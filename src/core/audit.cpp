@@ -76,6 +76,33 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                      [static_cast<std::size_t>(v)] != kNever;
   };
 
+  // Forged-token provenance (Byzantine executions, src/byz/): the result's
+  // ForgedTokenRecords name the planted facts — token id and forger — and
+  // the audit recomputes every derived field from the trace, plus per-node
+  // first-reception rounds so non-forger relays can be checked for
+  // having actually received what they transmit.
+  const std::size_t kf = result.forged_tokens.size();
+  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::vector<std::pair<TokenId, std::size_t>> forged_index;
+  std::vector<ForgedTokenRecord> forged_recomputed(kf);
+  std::vector<std::vector<Round>> forged_seen(kf,
+                                              std::vector<Round>(un, kNever));
+  for (std::size_t i = 0; i < kf; ++i) {
+    forged_recomputed[i].token = result.forged_tokens[i].token;
+    forged_recomputed[i].forger = result.forged_tokens[i].forger;
+    forged_index.emplace_back(result.forged_tokens[i].token, i);
+  }
+  std::sort(forged_index.begin(), forged_index.end());
+  const auto forged_slot = [&](TokenId tok) {
+    const auto it = std::lower_bound(
+        forged_index.begin(), forged_index.end(), tok,
+        [](const std::pair<TokenId, std::size_t>& e, TokenId t) {
+          return e.first < t;
+        });
+    if (it == forged_index.end() || it->first != tok) return kNoSlot;
+    return it->second;
+  };
+
   // The network's frozen CSR snapshots drive the per-round reconstruction:
   // g_csr.row for "every reliable edge delivered", gp_csr.contains for
   // "every reached node is a G' neighbor".
@@ -151,10 +178,42 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                       "reliable edge skipped to " + std::to_string(v));
         }
       }
-      if (sender.message.token != kNoToken &&
-          !holds(sender.message.token, sender.node)) {
-        report.fail(at(record.round, sender.node) +
-                    "transmitted a token without holding it");
+      const TokenId stok = sender.message.token;
+      if (stok != kNoToken && static_cast<std::size_t>(stok) <= k) {
+        if (!holds(stok, sender.node)) {
+          report.fail(at(record.round, sender.node) +
+                      "transmitted a token without holding it");
+        }
+      } else if (stok != kNoToken) {
+        const std::size_t fi = forged_slot(stok);
+        if (fi == kNoSlot) {
+          report.fail(at(record.round, sender.node) +
+                      "transmitted unregistered token id " +
+                      std::to_string(stok));
+        } else {
+          ForgedTokenRecord& frec = forged_recomputed[fi];
+          if (sender.node == frec.forger) {
+            ++frec.injections;
+            if (frec.first_injected == kNever) {
+              frec.first_injected = record.round;
+            }
+          } else {
+            // A correct relay of a forged token is legal only after the
+            // token reached the relay (forged_seen holds strictly earlier
+            // rounds here: this round's receptions fold in below).
+            if (forged_seen[fi][static_cast<std::size_t>(sender.node)] ==
+                kNever) {
+              report.fail(at(record.round, sender.node) +
+                          "transmitted forged token " + std::to_string(stok) +
+                          " without having received it");
+            }
+            ++frec.victim_sends;
+            if (frec.first_victim == kInvalidNode) {
+              frec.first_victim = sender.node;
+              frec.first_victim_round = record.round;
+            }
+          }
+        }
       }
     }
 
@@ -207,10 +266,21 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
           }
           break;
       }
-      if (rec.has_token() &&
-          static_cast<std::size_t>(rec.message->token) <= k) {
-        auto& seen = token_seen[static_cast<std::size_t>(rec.message->token - 1)];
-        if (seen[uv] == kNever) seen[uv] = record.round;
+      if (rec.has_token()) {
+        const TokenId tok = rec.message->token;
+        if (static_cast<std::size_t>(tok) <= k) {
+          auto& seen = token_seen[static_cast<std::size_t>(tok - 1)];
+          if (seen[uv] == kNever) seen[uv] = record.round;
+        } else {
+          const std::size_t fi = forged_slot(tok);
+          if (fi == kNoSlot) {
+            report.fail(at(record.round, v) +
+                        "received unregistered token id " +
+                        std::to_string(tok));
+          } else if (forged_seen[fi][uv] == kNever) {
+            forged_seen[fi][uv] = record.round;
+          }
+        }
       }
     }
 
@@ -227,6 +297,59 @@ AuditReport audit_execution(const DualGraph& net, const SimResult& result,
                     std::to_string(result.token_first[t][uv]) +
                     ", trace says " + std::to_string(token_seen[t][uv]));
       }
+    }
+  }
+
+  // Forged-token provenance cross-check: every derived field of every
+  // ForgedTokenRecord must match the recomputation, then wins are reported.
+  const auto field_mismatch = [&](std::size_t i, const char* field,
+                                  std::int64_t claimed, std::int64_t traced) {
+    report.fail("forged token " +
+                std::to_string(result.forged_tokens[i].token) + " " + field +
+                " mismatch: result says " + std::to_string(claimed) +
+                ", trace says " + std::to_string(traced));
+  };
+  for (std::size_t i = 0; i < kf; ++i) {
+    const ForgedTokenRecord& claimed = result.forged_tokens[i];
+    ForgedTokenRecord& traced = forged_recomputed[i];
+    for (const Round r : forged_seen[i]) {
+      if (r != kNever) ++traced.receptions;
+    }
+    if (claimed.first_injected != traced.first_injected) {
+      field_mismatch(i, "first_injected", claimed.first_injected,
+                     traced.first_injected);
+    }
+    if (claimed.injections != traced.injections) {
+      field_mismatch(i, "injections",
+                     static_cast<std::int64_t>(claimed.injections),
+                     static_cast<std::int64_t>(traced.injections));
+    }
+    if (claimed.first_victim != traced.first_victim) {
+      field_mismatch(i, "first_victim", claimed.first_victim,
+                     traced.first_victim);
+    }
+    if (claimed.first_victim_round != traced.first_victim_round) {
+      field_mismatch(i, "first_victim_round", claimed.first_victim_round,
+                     traced.first_victim_round);
+    }
+    if (claimed.victim_sends != traced.victim_sends) {
+      field_mismatch(i, "victim_sends",
+                     static_cast<std::int64_t>(claimed.victim_sends),
+                     static_cast<std::int64_t>(traced.victim_sends));
+    }
+    if (claimed.receptions != traced.receptions) {
+      field_mismatch(i, "receptions",
+                     static_cast<std::int64_t>(claimed.receptions),
+                     static_cast<std::int64_t>(traced.receptions));
+    }
+    if (traced.won()) {
+      report.forged_wins.push_back(
+          "forged token " + std::to_string(traced.token) +
+          " (forger node " + std::to_string(traced.forger) +
+          ") won: first relayed by node " + std::to_string(traced.first_victim) +
+          " at round " + std::to_string(traced.first_victim_round) + " (" +
+          std::to_string(traced.victim_sends) + " victim sends, " +
+          std::to_string(traced.receptions) + " receptions)");
     }
   }
   return report;

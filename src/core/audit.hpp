@@ -18,11 +18,18 @@ namespace dualrad::audit {
 struct AuditReport {
   bool ok = true;
   std::vector<std::string> violations{};
+  /// Forgery outcomes, one entry per forged token some correct node relayed
+  /// (the "did a forged token win" dimension). A win is a property of the
+  /// *algorithm* under Byzantine faults, not a model violation, so wins do
+  /// not clear `ok`; provenance that disagrees with the trace does.
+  std::vector<std::string> forged_wins{};
 
   void fail(std::string what) {
     ok = false;
     violations.push_back(std::move(what));
   }
+
+  [[nodiscard]] bool forged_token_won() const { return !forged_wins.empty(); }
 };
 
 /// Audit a complete trace (requires SimConfig::trace == TraceLevel::Full or
@@ -41,7 +48,14 @@ struct AuditReport {
 ///  - SimResult::first_token / token_first match the trace;
 ///  - reception kinds are consistent with arrival counts under the rule
 ///    (collision notifications only under CR1/CR2; a non-sender message
-///    reception requires that message to have arrived).
+///    reception requires that message to have arrived);
+///  - every out-of-band token id is registered in SimResult::forged_tokens
+///    (Byzantine executions, src/byz/), a non-forger transmits a forged
+///    token only after receiving it, and each ForgedTokenRecord's provenance
+///    (injection rounds and counts, first victim, victim sends, receptions)
+///    matches an independent recomputation from the trace. Wins — a correct
+///    node relaying a forged token — are reported in AuditReport::forged_wins
+///    naming the token, forger, relaying node, and round.
 [[nodiscard]] AuditReport audit_execution(
     const DualGraph& net, const SimResult& result, CollisionRule rule,
     const std::vector<NodeId>& token_sources = {});

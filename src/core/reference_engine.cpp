@@ -1,7 +1,9 @@
 #include "core/reference_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "byz/runtime.hpp"
 #include "core/rng.hpp"
 #include "obs/telemetry.hpp"
 
@@ -54,15 +56,16 @@ SimResult run_broadcast_reference(const DualGraph& net,
   std::vector<NodeId> sources = config.token_sources;
   if (sources.empty()) sources.push_back(net.source());
   const auto k = sources.size();
-  {
-    std::vector<bool> seen(un, false);
-    for (NodeId s : sources) {
-      DUALRAD_REQUIRE(s >= 0 && s < n, "token source out of range");
-      DUALRAD_REQUIRE(!seen[static_cast<std::size_t>(s)],
-                      "token sources must be distinct");
-      seen[static_cast<std::size_t>(s)] = true;
-    }
+  validate_token_sources(n, sources);
+
+  // Byzantine node faults, applied through the exact same runtime hooks as
+  // the sparse engine (byz/runtime.hpp) so both engines stay bit-identical.
+  std::optional<byz::ByzRuntime> byzrt;
+  if (config.byzantine != nullptr) {
+    byzrt.emplace(*config.byzantine, result.process_of_node);
   }
+  std::vector<NodeId> byz_removed;
+  std::vector<NodeId> byz_added;
 
   std::vector<bool> awake(un, false);
   // covered[v]: the process at v holds at least one token (what the
@@ -153,14 +156,35 @@ SimResult run_broadcast_reference(const DualGraph& net,
       const Action action = proc_at[uv]->next_action(round);
       if (!action.send) continue;
       const TokenId tok = action.message.token;
-      DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
-                    "process sent an unknown token id");
-      DUALRAD_CHECK(tok == kNoToken ||
-                        holds[static_cast<std::size_t>(tok - 1) * un + uv],
-                    "process sent a broadcast token without holding it");
+      if (byzrt && byz::ByzRuntime::is_forged(tok)) {
+        // Relaying a forged token you actually heard is protocol-legal (that
+        // relay is exactly the forgery "win" the audit reports); inventing
+        // a forged id out of thin air is not.
+        DUALRAD_CHECK(byzrt->may_transmit(v, tok),
+                      "process sent a forged token it never received");
+      } else {
+        DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
+                      "process sent an unknown token id");
+        DUALRAD_CHECK(tok == kNoToken ||
+                          holds[static_cast<std::size_t>(tok - 1) * un + uv],
+                      "process sent a broadcast token without holding it");
+      }
       is_sender[uv] = true;
       sent_msg[uv] = action.message;
       senders.push_back(v);
+    }
+    if (byzrt) {
+      // Byzantine behaviors rewrite the sender set before anything observes
+      // it (the node scan already produced ascending senders).
+      byz_removed.clear();
+      byz_added.clear();
+      byzrt->rewrite_senders(round, senders, sent_msg, byz_removed, byz_added);
+      for (const NodeId v : byz_removed) {
+        is_sender[static_cast<std::size_t>(v)] = false;
+      }
+      for (const NodeId v : byz_added) {
+        is_sender[static_cast<std::size_t>(v)] = true;
+      }
     }
     result.total_sends += senders.size();
     end_phase(obs::Phase::Poll);
@@ -270,15 +294,22 @@ SimResult run_broadcast_reference(const DualGraph& net,
         awake[uv] = true;
       }
       if (rec.has_token()) {
-        const auto t = static_cast<std::size_t>(rec.message->token - 1);
-        if (!covered[uv]) {
-          covered[uv] = 1;
-          next_delta.push_back(v);  // node scan is ascending
-        }
-        if (!holds[t * un + uv]) {
-          holds[t * un + uv] = true;
-          result.token_first[t][uv] = round;
-          ++held_count;
+        if (byzrt && byz::ByzRuntime::is_forged(rec.message->token)) {
+          // Forged tokens never touch covered/holds/token_first — the
+          // engine's completion notion counts only environment-injected
+          // tokens. Delivery provenance feeds SimResult::forged_tokens.
+          byzrt->note_delivery(rec.message->token, v);
+        } else {
+          const auto t = static_cast<std::size_t>(rec.message->token - 1);
+          if (!covered[uv]) {
+            covered[uv] = 1;
+            next_delta.push_back(v);  // node scan is ascending
+          }
+          if (!holds[t * un + uv]) {
+            holds[t * un + uv] = true;
+            result.token_first[t][uv] = round;
+            ++held_count;
+          }
         }
       }
     }
@@ -328,6 +359,8 @@ SimResult run_broadcast_reference(const DualGraph& net,
   }
 
   if (telemetry) telemetry->end_execution();
+
+  if (byzrt) result.forged_tokens = byzrt->finalize();
 
   result.first_token = result.token_first.front();
   for (NodeId v = 0; v < n; ++v) {

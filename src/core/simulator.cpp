@@ -5,10 +5,12 @@
 #include <exception>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 
+#include "byz/runtime.hpp"
 #include "core/rng.hpp"
 #include "graph/graph.hpp"
 #include "obs/telemetry.hpp"
@@ -236,6 +238,27 @@ SimResult run_broadcast(const DualGraph& net, const ProcessFactory& factory,
   return sim.run();
 }
 
+void validate_token_sources(NodeId n, const std::vector<NodeId>& sources) {
+  DUALRAD_REQUIRE(
+      sources.size() < static_cast<std::size_t>(byz::kForgedTokenBase),
+      "too many token sources: legitimate token ids would reach the "
+      "forged-token band (byz::kForgedTokenBase)");
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    DUALRAD_REQUIRE(s >= 0 && s < n,
+                    "token source out of range: token_sources[" +
+                        std::to_string(i) + "] = " + std::to_string(s) +
+                        " is not a node of the " + std::to_string(n) +
+                        "-node network");
+    DUALRAD_REQUIRE(!seen[static_cast<std::size_t>(s)],
+                    "token sources must be distinct: node " +
+                        std::to_string(s) + " appears again at token_sources[" +
+                        std::to_string(i) + "]");
+    seen[static_cast<std::size_t>(s)] = true;
+  }
+}
+
 SimResult Simulator::run() {
   const NodeId n = net_.node_count();
   const auto un = static_cast<std::size_t>(n);
@@ -279,15 +302,17 @@ SimResult Simulator::run() {
   std::vector<NodeId> sources = config_.token_sources;
   if (sources.empty()) sources.push_back(net_.source());
   const auto k = sources.size();
-  {
-    std::vector<bool> seen(un, false);
-    for (NodeId s : sources) {
-      DUALRAD_REQUIRE(s >= 0 && s < n, "token source out of range");
-      DUALRAD_REQUIRE(!seen[static_cast<std::size_t>(s)],
-                      "token sources must be distinct");
-      seen[static_cast<std::size_t>(s)] = true;
-    }
+  validate_token_sources(n, sources);
+
+  // Byzantine node faults (byz/runtime.hpp): constructed after the adversary
+  // hooks above so an adaptive adversary's on_execution_start reset is
+  // already applied when the runtime syncs the plan's baseline.
+  std::optional<byz::ByzRuntime> byzrt;
+  if (config_.byzantine != nullptr) {
+    byzrt.emplace(*config_.byzantine, result.process_of_node);
   }
+  std::vector<NodeId> byz_removed;
+  std::vector<NodeId> byz_added;
 
   // Per-node flags are byte arrays, not vector<bool>: the parallel kernel's
   // workers write disjoint indices concurrently.
@@ -443,11 +468,19 @@ SimResult Simulator::run() {
       calendar.plan(v, proc_at[uv]->next_send_round(round + 1), round);
       if (!action.send) continue;
       const TokenId tok = action.message.token;
-      DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
-                    "process sent an unknown token id");
-      DUALRAD_CHECK(tok == kNoToken ||
-                        holds[static_cast<std::size_t>(tok - 1) * un + uv],
-                    "process sent a broadcast token without holding it");
+      if (byzrt && byz::ByzRuntime::is_forged(tok)) {
+        // Relaying a forged token you actually heard is protocol-legal (that
+        // relay is exactly the forgery "win" the audit reports); inventing
+        // a forged id out of thin air is not.
+        DUALRAD_CHECK(byzrt->may_transmit(v, tok),
+                      "process sent a forged token it never received");
+      } else {
+        DUALRAD_CHECK(tok >= kNoToken && tok <= static_cast<TokenId>(k),
+                      "process sent an unknown token id");
+        DUALRAD_CHECK(tok == kNoToken ||
+                          holds[static_cast<std::size_t>(tok - 1) * un + uv],
+                      "process sent a broadcast token without holding it");
+      }
       is_sender[uv] = 1;
       sent_msg[uv] = action.message;
       senders.push_back(v);
@@ -457,6 +490,22 @@ SimResult Simulator::run() {
     // stateful adversaries' RNG streams) see senders in ascending node
     // order, exactly like the reference engine's node scan.
     std::sort(senders.begin(), senders.end());
+    if (byzrt) {
+      // Byzantine behaviors rewrite the sender set before anything observes
+      // it: the adversary, propagation, traces, and total_sends all see the
+      // post-fault senders, identically in both engines.
+      byz_removed.clear();
+      byz_added.clear();
+      byzrt->rewrite_senders(round, senders, sent_msg, byz_removed, byz_added);
+      for (const NodeId v : byz_removed) {
+        is_sender[static_cast<std::size_t>(v)] = 0;
+        deposit_work -= 1 + csr_g.out_degree(v);
+      }
+      for (const NodeId v : byz_added) {
+        is_sender[static_cast<std::size_t>(v)] = 1;
+        deposit_work += 1 + csr_g.out_degree(v);
+      }
+    }
     result.total_sends += senders.size();
     end_phase(obs::Phase::Poll);
 
@@ -652,15 +701,22 @@ SimResult Simulator::run() {
           s.plans.emplace_back(v, proc_at[uv]->next_send_round(round + 1));
         }
         if (rec.has_token()) {
-          const auto t = static_cast<std::size_t>(rec.message->token - 1);
-          if (!covered[uv]) {
-            covered[uv] = 1;
-            s.newly_covered.push_back(v);
-          }
-          if (!holds[t * un + uv]) {
-            holds[t * un + uv] = 1;
-            result.token_first[t][uv] = round;
-            ++s.held_delta;
+          if (byzrt && byz::ByzRuntime::is_forged(rec.message->token)) {
+            // Forged tokens never touch covered/holds/token_first — the
+            // engine's completion notion counts only environment-injected
+            // tokens. Delivery provenance is per-node state (shard-safe).
+            byzrt->note_delivery(rec.message->token, v);
+          } else {
+            const auto t = static_cast<std::size_t>(rec.message->token - 1);
+            if (!covered[uv]) {
+              covered[uv] = 1;
+              s.newly_covered.push_back(v);
+            }
+            if (!holds[t * un + uv]) {
+              holds[t * un + uv] = 1;
+              result.token_first[t][uv] = round;
+              ++s.held_delta;
+            }
           }
         }
         if (record_trace) record.receptions[uv] = std::move(rec);
@@ -754,6 +810,8 @@ SimResult Simulator::run() {
   }
 
   if (telemetry) telemetry->end_execution();
+
+  if (byzrt) result.forged_tokens = byzrt->finalize();
 
   result.first_token = result.token_first.front();
   for (NodeId v = 0; v < n; ++v) {

@@ -39,6 +39,10 @@ namespace obs {
 class RoundTelemetry;
 }  // namespace obs
 
+namespace byz {
+class ByzantinePlan;
+}  // namespace byz
+
 struct SimConfig {
   CollisionRule rule = CollisionRule::CR4;
   StartRule start = StartRule::Asynchronous;
@@ -69,6 +73,14 @@ struct SimConfig {
   /// the disabled overhead is a handful of predicted branches per round.
   /// The object must outlive the run; both engines support it.
   obs::RoundTelemetry* telemetry = nullptr;
+  /// Optional Byzantine node-fault plan (byz/plan.hpp), bound to the same
+  /// network and alive for the whole run. Both engines apply it identically:
+  /// active silent/forging nodes have their protocol sends dropped, forgers
+  /// inject forged-token messages each active round, and per-token forgery
+  /// provenance lands in SimResult::forged_tokens. Adaptive plans are
+  /// mutated by the adversary (byz/adaptive.hpp) through its own non-const
+  /// reference; the engines only read.
+  const byz::ByzantinePlan* byzantine = nullptr;
 };
 
 /// One collected Process::final_metrics entry (node identifies the slot,
@@ -78,6 +90,31 @@ struct ProcessMetricSample {
   ProcessId pid = kInvalidProcess;
   std::string name;
   double value = 0.0;
+};
+
+/// Provenance of one forged token (SimConfig::byzantine executions): who
+/// forged it, when it first flew, and whether it *won* — was ever relayed by
+/// a protocol-following (non-forger) node. Consumed by the trace auditor
+/// (core/audit.hpp), which independently recomputes every field from a Full
+/// or Compressed trace, and by the broadcast-contract checker
+/// (campaign/contract.hpp), which reports wins as no-creation violations.
+struct ForgedTokenRecord {
+  TokenId token = kNoToken;
+  NodeId forger = kInvalidNode;
+  Round first_injected = kNever;
+  std::uint64_t injections = 0;
+  /// First non-forger node that transmitted the token (kInvalidNode: none).
+  NodeId first_victim = kInvalidNode;
+  Round first_victim_round = kNever;
+  std::uint64_t victim_sends = 0;
+  /// Distinct nodes the token was delivered to (forger included).
+  std::uint64_t receptions = 0;
+
+  /// "Did this forged token win": some correct node accepted and relayed it.
+  [[nodiscard]] bool won() const { return first_victim != kInvalidNode; }
+
+  friend bool operator==(const ForgedTokenRecord&,
+                         const ForgedTokenRecord&) = default;
 };
 
 struct SimResult {
@@ -105,6 +142,9 @@ struct SimResult {
   /// Process::final_metrics of every process, in node order. Empty unless
   /// some process exports metrics (e.g. the MAC layer's ack latencies).
   std::vector<ProcessMetricSample> process_metrics{};
+  /// Forged-token provenance, in fault order; empty unless the execution ran
+  /// with a Byzantine plan containing forgers.
+  std::vector<ForgedTokenRecord> forged_tokens{};
   Trace trace{};
 
   [[nodiscard]] TokenId token_count() const {
@@ -132,5 +172,13 @@ class Simulator {
                                       const ProcessFactory& factory,
                                       Adversary& adversary,
                                       const SimConfig& config);
+
+/// Validate SimConfig::token_sources against an n-node network: every source
+/// must be an in-range node id, sources must be pairwise distinct (each
+/// token id maps to exactly one origin), and the token count must stay below
+/// byz::kForgedTokenBase so legitimate ids can never collide with forged
+/// ones. Throws std::invalid_argument with a message naming the offending
+/// entry. Shared by both engines; exposed for direct unit testing.
+void validate_token_sources(NodeId n, const std::vector<NodeId>& sources);
 
 }  // namespace dualrad

@@ -11,6 +11,7 @@
 #include "adversary/scripted_adversary.hpp"
 #include "adversary/theorem2_adversary.hpp"
 #include "algorithms/decay.hpp"
+#include "byz/plan.hpp"
 #include "core/reference_engine.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
@@ -391,6 +392,51 @@ TEST(AdversaryConformance, CoverageDeltaMatchesDenseFlagsInBothEngines) {
     EXPECT_EQ(par.completion_round, base.completion_round);
     EXPECT_EQ(sharded.log, serial.log)
         << "threads=" << threads << " saw different coverage deltas";
+  }
+}
+
+TEST(AdversaryConformance, CoverageDeltaMatchesUnderByzantineNodeFaults) {
+  // Same delta-accumulation property with a Byzantine node-fault plan
+  // active: silenced nodes drop their protocol sends, which reshapes the
+  // coverage frontier, and the newly_covered spans must still reconstruct
+  // the dense flags identically across both engines and thread counts.
+  const DualGraph net =
+      duals::layered_sparse({.layers = 12, .width = 8, .fwd_degree = 2,
+                             .unreliable_degree = 2, .seed = 13});
+  const ProcessFactory factory = make_decay_factory(net.node_count());
+  const byz::ByzantinePlan plan = byz::make_random_plan(
+      net, /*f=*/1, /*count=*/6, byz::ByzBehavior::Silent, {}, 909);
+  ASSERT_GE(plan.faults().size(), 1u);
+
+  SimConfig config;
+  config.rule = CollisionRule::CR3;
+  config.start = StartRule::Asynchronous;
+  config.max_rounds = 50'000;
+  config.seed = 2024;
+  config.byzantine = &plan;
+
+  DeltaTrackingAdversary serial(config.seed);
+  const SimResult base = run_broadcast(net, factory, serial, config);
+  ASSERT_FALSE(serial.log.empty());
+
+  DeltaTrackingAdversary reference(config.seed);
+  const SimResult ref =
+      run_broadcast_reference(net, factory, reference, config);
+  EXPECT_EQ(ref.rounds_executed, base.rounds_executed);
+  EXPECT_EQ(ref.completed, base.completed);
+  EXPECT_EQ(reference.log, serial.log)
+      << "reference engine saw different coverage deltas under byz faults";
+
+  for (const unsigned threads : {2u, 4u}) {
+    SimConfig parallel = config;
+    parallel.threads = threads;
+    DeltaTrackingAdversary sharded(config.seed);
+    const SimResult par = run_broadcast(net, factory, sharded, parallel);
+    EXPECT_EQ(par.rounds_executed, base.rounds_executed);
+    EXPECT_EQ(par.completed, base.completed);
+    EXPECT_EQ(sharded.log, serial.log)
+        << "threads=" << threads
+        << " saw different coverage deltas under byz faults";
   }
 }
 

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
 #include "adversary/basic_adversaries.hpp"
 #include "algorithms/round_robin_bcast.hpp"
+#include "byz/plan.hpp"
 #include "core/simulator.hpp"
 #include "graph/dual_builders.hpp"
 #include "graph/generators.hpp"
@@ -351,6 +356,66 @@ TEST(BoundedTrace, ShortExecutionFitsEntirelyInWindow) {
   }
   EXPECT_EQ(ring_sends, result.total_sends);
   EXPECT_EQ(result.trace.agg.total_sends, result.total_sends);
+}
+
+// ---------------------------------------------------- token-source validation
+
+TEST(TokenSourceValidation, AcceptsDistinctInRangeSources) {
+  EXPECT_NO_THROW(validate_token_sources(5, {0, 2, 4}));
+  EXPECT_NO_THROW(validate_token_sources(1, {0}));
+  EXPECT_NO_THROW(validate_token_sources(3, {}));  // empty = net.source()
+}
+
+TEST(TokenSourceValidation, RejectsOutOfRangeSources) {
+  try {
+    validate_token_sources(3, {0, 3});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("token source out of range"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(validate_token_sources(3, {-1}), std::invalid_argument);
+}
+
+TEST(TokenSourceValidation, RejectsDuplicateSources) {
+  try {
+    validate_token_sources(4, {1, 2, 1});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("token sources must be distinct"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TokenSourceValidation, RejectsSourceCountReachingForgedTokenBand) {
+  // Token ids are 1..k, so k == kForgedTokenBase sources would mint a
+  // legitimate id inside the reserved forged band.
+  const std::size_t k = static_cast<std::size_t>(byz::kForgedTokenBase);
+  std::vector<NodeId> sources(k);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  try {
+    validate_token_sources(static_cast<NodeId>(k), sources);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("too many token sources"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TokenSourceValidation, SimulatorRejectsBadSourcesUpFront) {
+  const DualGraph net = tiny_net();
+  BenignAdversary adversary;
+  const auto factory = scripted_factory({});
+  SimConfig config = sync_config(CollisionRule::CR1, 2);
+  config.token_sources = {0, 0};
+  EXPECT_THROW(run_broadcast(net, factory, adversary, config),
+               std::invalid_argument);
+  config.token_sources = {0, 99};
+  EXPECT_THROW(run_broadcast(net, factory, adversary, config),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -16,8 +16,11 @@
 #include "algorithms/scheduled.hpp"
 #include "algorithms/strong_select.hpp"
 #include "algorithms/uniform_gossip.hpp"
+#include "byz/cpa.hpp"
+#include "byz/plan.hpp"
 #include "campaign/builtin_scenarios.hpp"
 #include "campaign/engine.hpp"
+#include "campaign/export.hpp"
 #include "core/reference_engine.hpp"
 #include "core/rng.hpp"
 #include "core/simulator.hpp"
@@ -48,6 +51,7 @@ void expect_identical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.process_of_node, b.process_of_node) << label;
   EXPECT_EQ(a.total_sends, b.total_sends) << label;
   EXPECT_EQ(a.total_collision_events, b.total_collision_events) << label;
+  EXPECT_EQ(a.forged_tokens, b.forged_tokens) << label;
   EXPECT_EQ(a.trace.level, b.trace.level) << label;
   EXPECT_EQ(a.trace.senders_per_round, b.trace.senders_per_round) << label;
   EXPECT_EQ(a.trace.collisions_per_round, b.trace.collisions_per_round)
@@ -373,8 +377,10 @@ TEST(EngineEquivalence, BuiltinCampaignGridIsBitIdentical) {
     bool slow = false;
     for (const std::string& tag : s.tags) slow = slow || tag == "slow";
     if (slow) continue;
-    ASSERT_FALSE(static_cast<bool>(s.runner))
-        << s.name << ": differential replay assumes the default trial body";
+    // Scenarios with a custom trial runner (the byz/* family wraps the run
+    // in a ByzantinePlan) are replayed by ByzantineExecutionsAreBitIdentical
+    // and ByzCampaignExportsAreThreadInvariant instead.
+    if (s.runner) continue;
     const DualGraph net = s.network();
     const ProcessFactory factory = s.algorithm(net);
     SimConfig config;
@@ -397,6 +403,81 @@ TEST(EngineEquivalence, BuiltinCampaignGridIsBitIdentical) {
     ++checked;
   }
   EXPECT_GE(checked, 20u);
+}
+
+TEST(EngineEquivalence, ByzantineExecutionsAreBitIdentical) {
+  // Byzantine node faults (src/byz/) run through the same hot paths —
+  // silenced protocol sends, injected forged sends, forged-delivery masks —
+  // and every byproduct including SimResult::forged_tokens must stay
+  // bit-identical across both engines and the sharded kernel.
+  const DualGraph layered = duals::layered_sparse(
+      {.layers = 8, .width = 6, .fwd_degree = 3, .unreliable_degree = 2,
+       .seed = 5});
+  const DualGraph grayzone = duals::gray_zone({.n = 40, .seed = 9});
+  const auto adversary =
+      campaign::make_seeded_adversary_factory<BernoulliAdversary>(0.4);
+  for (const DualGraph* net : {&layered, &grayzone}) {
+    const auto src = static_cast<ProcessId>(net->source());
+    const ProcessFactory cpa = byz::make_cpa_factory(
+        net->node_count(), {.f = 1,
+                            .trusted_origins = {src},
+                            .relay_p = 0.5,
+                            .active_rounds = 64,
+                            .rebroadcast_period = 16});
+    const ProcessFactory relay = byz::make_uncertified_relay_factory(
+        net->node_count(),
+        {.relay_p = 0.5, .active_rounds = 64, .rebroadcast_period = 16});
+    for (const byz::ByzBehavior behavior :
+         {byz::ByzBehavior::Silent, byz::ByzBehavior::Forge}) {
+      const byz::ByzantinePlan plan = byz::make_random_plan(
+          *net, /*f=*/1, /*count=*/5, behavior, {}, 0xBEEF);
+      ASSERT_GE(plan.faults().size(), 1u);
+      SimConfig config;
+      config.rule = CollisionRule::CR3;
+      config.start = StartRule::Asynchronous;
+      config.max_rounds = 20'000;
+      config.seed = mix_seed(4711, static_cast<std::uint64_t>(behavior));
+      config.trace = TraceLevel::Full;
+      config.byzantine = &plan;
+      const std::string tag = (net == &layered ? "layered" : "grayzone");
+      const std::string mode =
+          behavior == byz::ByzBehavior::Silent ? "silent" : "forge";
+      run_both(*net, cpa, adversary, config, "byz/" + tag + "/cpa/" + mode);
+      run_both(*net, relay, adversary, config,
+               "byz/" + tag + "/relay/" + mode);
+    }
+  }
+}
+
+TEST(EngineEquivalence, ByzCampaignExportsAreThreadInvariant) {
+  // The byz/* scenario family must export byte-identical JSONL/CSV for any
+  // intra-trial thread count — the acceptance pin for the node-fault
+  // subsystem riding the campaign engine's determinism contract.
+  const campaign::ScenarioRegistry registry = campaign::builtin_registry();
+  const std::vector<campaign::Scenario> scenarios =
+      registry.match("byz/layered-1k");
+  ASSERT_GE(scenarios.size(), 4u);
+  std::string base_jsonl, base_csv;
+  for (const unsigned threads_per_trial : {1u, 2u, 4u}) {
+    campaign::CampaignConfig config;
+    config.master_seed = 7;
+    config.threads = 2;
+    config.threads_per_trial = threads_per_trial;
+    config.trials_override = 1;
+    const campaign::CampaignResult result =
+        campaign::run_campaign(scenarios, config);
+    const std::string jsonl = campaign::trials_to_jsonl(result.trials, false);
+    const std::string csv = campaign::trials_to_csv(result.trials, false);
+    ASSERT_FALSE(jsonl.empty());
+    if (threads_per_trial == 1u) {
+      base_jsonl = jsonl;
+      base_csv = csv;
+    } else {
+      EXPECT_EQ(jsonl, base_jsonl)
+          << "threads_per_trial=" << threads_per_trial;
+      EXPECT_EQ(csv, base_csv) << "threads_per_trial=" << threads_per_trial;
+    }
+  }
 }
 
 TEST(EngineEquivalence, TelemetryDoesNotPerturbResults) {

@@ -23,9 +23,12 @@
 #include <vector>
 
 #include "campaign/builtin_scenarios.hpp"
+#include "campaign/contract.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/export.hpp"
+#include "core/audit.hpp"
 #include "core/rng.hpp"
+#include "graph/dual_graph.hpp"
 #include "mac/mac_latency.hpp"
 #include "obs/perfetto_writer.hpp"
 #include "obs/telemetry.hpp"
@@ -41,6 +44,8 @@ struct Options {
   bool quiet = false;
   bool help = false;
   bool timing = false;
+  bool audit = false;
+  bool fail_on_contract = false;
   std::string filter;
   std::uint64_t seed = 1;
   unsigned threads = 0;
@@ -114,6 +119,16 @@ void usage() {
       "                      the first matching scenario) with telemetry and\n"
       "                      write a Chrome/Perfetto trace (ui.perfetto.dev)\n"
       "  --perfetto-scenario=NAME  scenario to trace (see --perfetto)\n"
+      "  --audit             record a compressed trace of every trial and\n"
+      "                      re-verify it with the execution auditor\n"
+      "                      (core/audit.hpp). Forged-token wins (Byzantine\n"
+      "                      scenarios, src/byz/) are reported on stderr; any\n"
+      "                      model violation exits 4. Results and exports are\n"
+      "                      byte-identical with or without this flag\n"
+      "  --fail-on-contract  check the broadcast contract (validity /\n"
+      "                      no-duplication / no-creation, including forged-\n"
+      "                      token wins) on every trial; any violation is\n"
+      "                      printed to stderr and the run exits 3\n"
       "  --quiet             suppress the summary table on stdout\n");
 }
 
@@ -134,6 +149,10 @@ std::optional<Options> parse(int argc, char** argv) try {
       options.quiet = true;
     } else if (arg == "--timing") {
       options.timing = true;
+    } else if (arg == "--audit") {
+      options.audit = true;
+    } else if (arg == "--fail-on-contract") {
+      options.fail_on_contract = true;
     } else if (auto v = value("--mac-jsonl=")) {
       options.mac_jsonl_path = *v;
     } else if (auto v = value("--telemetry-jsonl=")) {
@@ -341,6 +360,46 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_cancel_signal);
     config.cancel = &g_cancel;
 
+    // --audit: re-verify every trial's execution trace out-of-band. The
+    // auditor needs a recorded trace, so trials run with compressed traces —
+    // rows and exports stay byte-identical; the trace is dropped after the
+    // observer fires. Installed by direct assignment, so it must come before
+    // the chaining attach() observers below.
+    std::map<std::string, DualGraph> audit_nets;
+    std::vector<std::string> audit_failures;
+    std::vector<std::string> audit_forged_wins;
+    if (options.audit) {
+      config.trial_trace = TraceLevel::Compressed;
+      config.observer = [&](const campaign::Scenario& scenario,
+                            const campaign::TrialRow& row,
+                            const SimResult& result) {
+        // The engine keeps its networks private; rebuild one per scenario
+        // (builders are deterministic) and cache it. The engine serializes
+        // observers, so the cache needs no lock.
+        auto it = audit_nets.find(scenario.name);
+        if (it == audit_nets.end()) {
+          it = audit_nets.emplace(scenario.name, scenario.network()).first;
+        }
+        const audit::AuditReport report = audit::audit_execution(
+            it->second, result, scenario.rule, scenario.token_sources);
+        const std::string tag = scenario.name + "#" + std::to_string(row.trial);
+        for (const std::string& v : report.violations) {
+          audit_failures.push_back(tag + " " + v);
+        }
+        for (const std::string& w : report.forged_wins) {
+          audit_forged_wins.push_back(tag + " " + w);
+        }
+      };
+    }
+
+    // --fail-on-contract: the broadcast-contract checker (attach() chains
+    // the audit observer above, if any).
+    std::optional<campaign::ContractObserver> contract;
+    if (options.fail_on_contract) {
+      contract.emplace();
+      contract->attach(config);
+    }
+
     // --mac-jsonl: measure f_ack / f_prog per trial from the full SimResult
     // (progress latency is meaningful for any broadcast scenario; the ack
     // columns are -1 outside MAC workloads).
@@ -439,6 +498,34 @@ int main(int argc, char** argv) {
                          options.perfetto_path);
     }
     if (!options.quiet) print_summaries(result, options.timing);
+
+    // Verification verdicts come last so exports above are written either
+    // way (a failing campaign's rows are still evidence). Contract trumps
+    // audit in the exit code when both trip.
+    if (options.audit) {
+      for (const std::string& w : audit_forged_wins) {
+        std::fprintf(stderr, "[audit] forged-token win: %s\n", w.c_str());
+      }
+      for (const std::string& v : audit_failures) {
+        std::fprintf(stderr, "[audit] FAIL: %s\n", v.c_str());
+      }
+      if (audit_failures.empty()) {
+        std::fprintf(stderr, "[audit] %zu trial trace(s) verified clean\n",
+                     result.trials.size());
+      }
+    }
+    if (contract.has_value()) {
+      for (const std::string& v : contract->violations()) {
+        std::fprintf(stderr, "[contract] FAIL: %s\n", v.c_str());
+      }
+      if (contract->violations().empty()) {
+        std::fprintf(stderr,
+                     "[contract] %zu trial(s) satisfy the broadcast contract\n",
+                     contract->trials_checked());
+      }
+    }
+    if (contract.has_value() && !contract->violations().empty()) return 3;
+    if (!audit_failures.empty()) return 4;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
